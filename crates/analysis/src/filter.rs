@@ -1,0 +1,224 @@
+//! Event and interruption filters — the "drill down into any
+//! particular area of interest by simply applying different filters"
+//! capability of the paper (its Matlab module provides the same).
+
+use osn_kernel::activity::{Activity, NoiseCategory};
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+
+use crate::nesting::ActivityInstance;
+use crate::noise::Interruption;
+use crate::stats::EventClass;
+
+/// A composable filter over activity instances.
+#[derive(Clone, Debug, Default)]
+pub struct InstanceFilter {
+    pub classes: Option<Vec<EventClass>>,
+    pub categories: Option<Vec<NoiseCategory>>,
+    pub tasks: Option<Vec<Tid>>,
+    pub cpus: Option<Vec<CpuId>>,
+    pub from: Option<Nanos>,
+    pub to: Option<Nanos>,
+    pub min_duration: Option<Nanos>,
+}
+
+impl InstanceFilter {
+    pub fn new() -> Self {
+        InstanceFilter::default()
+    }
+
+    pub fn class(mut self, c: EventClass) -> Self {
+        self.classes.get_or_insert_with(Vec::new).push(c);
+        self
+    }
+
+    pub fn category(mut self, c: NoiseCategory) -> Self {
+        self.categories.get_or_insert_with(Vec::new).push(c);
+        self
+    }
+
+    pub fn task(mut self, t: Tid) -> Self {
+        self.tasks.get_or_insert_with(Vec::new).push(t);
+        self
+    }
+
+    pub fn cpu(mut self, c: CpuId) -> Self {
+        self.cpus.get_or_insert_with(Vec::new).push(c);
+        self
+    }
+
+    pub fn window(mut self, from: Nanos, to: Nanos) -> Self {
+        self.from = Some(from);
+        self.to = Some(to);
+        self
+    }
+
+    pub fn min_duration(mut self, d: Nanos) -> Self {
+        self.min_duration = Some(d);
+        self
+    }
+
+    /// Does an instance pass the filter?
+    pub fn accepts(&self, i: &ActivityInstance) -> bool {
+        if let Some(classes) = &self.classes {
+            if !classes.iter().any(|c| c.matches(i.activity)) {
+                return false;
+            }
+        }
+        if let Some(cats) = &self.categories {
+            if !cats.contains(&i.activity.category()) {
+                return false;
+            }
+        }
+        if let Some(tasks) = &self.tasks {
+            if !tasks.contains(&i.ctx) {
+                return false;
+            }
+        }
+        if let Some(cpus) = &self.cpus {
+            if !cpus.contains(&i.cpu) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if i.start < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if i.start >= to {
+                return false;
+            }
+        }
+        if let Some(min) = self.min_duration {
+            if i.self_time < min {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Apply to a slice of instances.
+    pub fn apply<'a>(&self, instances: &'a [ActivityInstance]) -> Vec<&'a ActivityInstance> {
+        instances.iter().filter(|i| self.accepts(i)).collect()
+    }
+}
+
+/// Keep only the interruptions that contain a given activity (the
+/// trace-view filter used for Figs 5 and 7: "We filtered out all the
+/// events but the page faults").
+pub fn interruptions_containing<'a>(
+    interruptions: &[&'a Interruption],
+    pred: impl Fn(Activity) -> bool,
+) -> Vec<&'a Interruption> {
+    interruptions
+        .iter()
+        .filter(|i| {
+            i.components.iter().any(|(c, _)| {
+                matches!(c, crate::noise::Component::Activity(a) if pred(*a))
+            })
+        })
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::FaultKind;
+
+    fn inst(t: u64, cpu: u16, ctx: u32, a: Activity, d: u64) -> ActivityInstance {
+        ActivityInstance {
+            activity: a,
+            cpu: CpuId(cpu),
+            ctx: Tid(ctx),
+            start: Nanos(t),
+            end: Nanos(t + d),
+            self_time: Nanos(d),
+            depth: 0,
+        }
+    }
+
+    fn dataset() -> Vec<ActivityInstance> {
+        vec![
+            inst(100, 0, 1, Activity::TimerInterrupt, 2000),
+            inst(
+                200,
+                0,
+                1,
+                Activity::PageFault(FaultKind::AnonZero),
+                3000,
+            ),
+            inst(300, 1, 2, Activity::PageFault(FaultKind::Cow), 500),
+            inst(400, 1, 2, Activity::NetworkInterrupt, 1500),
+        ]
+    }
+
+    #[test]
+    fn filter_by_class() {
+        let data = dataset();
+        let hits = InstanceFilter::new()
+            .class(EventClass::PageFault)
+            .apply(&data);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn filter_by_category() {
+        let data = dataset();
+        let hits = InstanceFilter::new()
+            .category(NoiseCategory::Io)
+            .apply(&data);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].activity, Activity::NetworkInterrupt);
+    }
+
+    #[test]
+    fn filter_by_task_cpu_window_duration() {
+        let data = dataset();
+        assert_eq!(InstanceFilter::new().task(Tid(1)).apply(&data).len(), 2);
+        assert_eq!(InstanceFilter::new().cpu(CpuId(1)).apply(&data).len(), 2);
+        assert_eq!(
+            InstanceFilter::new()
+                .window(Nanos(150), Nanos(350))
+                .apply(&data)
+                .len(),
+            2
+        );
+        assert_eq!(
+            InstanceFilter::new()
+                .min_duration(Nanos(1500))
+                .apply(&data)
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn filters_compose_conjunctively() {
+        let data = dataset();
+        let hits = InstanceFilter::new()
+            .class(EventClass::PageFault)
+            .task(Tid(1))
+            .min_duration(Nanos(1000))
+            .apply(&data);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].start, Nanos(200));
+    }
+
+    #[test]
+    fn empty_filter_accepts_all() {
+        let data = dataset();
+        assert_eq!(InstanceFilter::new().apply(&data).len(), data.len());
+    }
+
+    #[test]
+    fn multiple_values_are_disjunctive_within_a_field() {
+        let data = dataset();
+        let hits = InstanceFilter::new()
+            .class(EventClass::PageFault)
+            .class(EventClass::TimerInterrupt)
+            .apply(&data);
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,32 @@
+//! `osn-analysis`: offline quantitative OS-noise analysis — the second
+//! half of the paper's LTT NG-NOISE contribution.
+//!
+//! Starting from a raw trace (`osn-trace`), this crate reconstructs
+//! nested kernel-activity intervals, rebuilds task state timelines,
+//! applies the paper's noise-accounting rules (runnable-only,
+//! requested-service-excluded, nesting-aware), and produces every
+//! quantitative artifact of the paper: per-event statistics
+//! (Tables I–VI), category breakdowns (Fig 3), duration histograms
+//! (Figs 4/6/8), synthetic OS-noise charts (Figs 1/9/10), and the noise
+//! disambiguation analyses of §V.
+
+pub mod breakdown;
+pub mod chart;
+pub mod disambiguate;
+pub mod filter;
+pub mod histogram;
+pub mod nesting;
+pub mod noise;
+pub mod report;
+pub mod signature;
+pub mod stats;
+pub mod timeline;
+
+pub use breakdown::Breakdown;
+pub use chart::{ChartPoint, NoiseChart};
+pub use histogram::Histogram;
+pub use nesting::{ActivityInstance, NestingReport};
+pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};
+pub use signature::{Drift, NoiseSignature, SignatureEntry};
+pub use stats::{class_samples, class_samples_timed, class_stats, EventClass, EventStats};
+pub use timeline::{Phase, PhaseSpan, TaskTimeline, Timelines};

@@ -1,0 +1,334 @@
+//! Reconstruction of kernel-activity intervals from the raw event
+//! stream, with correct handling of *nested* events.
+//!
+//! The paper: "We took particular care of nested events, i.e., events
+//! that happen while the OS is already performing other activities. For
+//! example, the local timer may raise an interrupt while the kernel is
+//! performing a tasklet. Handling nested events is particularly
+//! important for obtaining correct statistics."
+//!
+//! Each `KernelEnter`/`KernelExit` pair becomes an [`ActivityInstance`]
+//! whose `self_time` excludes the time spent in activities nested inside
+//! it — so per-activity duration statistics are additive: the self times
+//! of a nest tree sum exactly to the root's wall span.
+
+use osn_kernel::activity::Activity;
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+use osn_trace::{Event, EventKind, Trace};
+
+use serde::{Deserialize, Serialize};
+
+/// One executed kernel activity, reconstructed from its enter/exit pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityInstance {
+    pub activity: Activity,
+    pub cpu: CpuId,
+    /// Task context the activity ran in (the interrupted/served task;
+    /// `Tid::IDLE` for the idle loop).
+    pub ctx: Tid,
+    pub start: Nanos,
+    pub end: Nanos,
+    /// Execution time excluding nested children.
+    pub self_time: Nanos,
+    /// Nesting depth at which this instance ran (0 = entered from user
+    /// or idle context).
+    pub depth: u16,
+}
+
+impl ActivityInstance {
+    /// Wall-clock span including nested children.
+    #[inline]
+    pub fn span(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+/// Problems found while reconstructing (tolerated, but reported).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NestingReport {
+    /// Exits with no matching enter (e.g. trace started mid-activity).
+    pub orphan_exits: u64,
+    /// Enters never closed (trace ended mid-activity).
+    pub unclosed_enters: u64,
+    /// Exits whose activity did not match the innermost open enter.
+    pub mismatched_exits: u64,
+}
+
+impl NestingReport {
+    pub fn is_clean(&self) -> bool {
+        self.orphan_exits == 0 && self.unclosed_enters == 0 && self.mismatched_exits == 0
+    }
+}
+
+struct OpenFrame {
+    activity: Activity,
+    ctx: Tid,
+    start: Nanos,
+    /// Accumulated self time before the last suspension.
+    self_acc: Nanos,
+    /// When this frame last (re)gained the CPU.
+    resumed: Nanos,
+    depth: u16,
+}
+
+/// Reconstruct all activity instances from a trace.
+///
+/// Returns instances sorted by `(start, cpu)` — note a *parent* sorts
+/// before its children — plus a report of stream anomalies.
+pub fn reconstruct(trace: &Trace) -> (Vec<ActivityInstance>, NestingReport) {
+    let ncpus = trace
+        .events
+        .iter()
+        .map(|e| e.cpu.0 as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut stacks: Vec<Vec<OpenFrame>> = (0..ncpus).map(|_| Vec::new()).collect();
+    let mut out = Vec::new();
+    let mut report = NestingReport::default();
+
+    for event in &trace.events {
+        let Event { t, cpu, tid, kind } = *event;
+        let stack = &mut stacks[cpu.0 as usize];
+        match kind {
+            EventKind::KernelEnter(activity) => {
+                // Suspend the currently running frame, if any.
+                if let Some(top) = stack.last_mut() {
+                    top.self_acc += t - top.resumed;
+                }
+                let depth = stack.len() as u16;
+                stack.push(OpenFrame {
+                    activity,
+                    ctx: tid,
+                    start: t,
+                    self_acc: Nanos::ZERO,
+                    resumed: t,
+                    depth,
+                });
+            }
+            EventKind::KernelExit(activity) => {
+                match stack.last() {
+                    None => {
+                        report.orphan_exits += 1;
+                    }
+                    Some(top) if top.activity != activity => {
+                        report.mismatched_exits += 1;
+                        // Drop the unmatched frame to resynchronize.
+                        stack.pop();
+                        if let Some(parent) = stack.last_mut() {
+                            parent.resumed = t;
+                        }
+                    }
+                    Some(_) => {
+                        let frame = stack.pop().expect("checked non-empty");
+                        let self_time = frame.self_acc + (t - frame.resumed);
+                        out.push(ActivityInstance {
+                            activity: frame.activity,
+                            cpu,
+                            ctx: frame.ctx,
+                            start: frame.start,
+                            end: t,
+                            self_time,
+                            depth: frame.depth,
+                        });
+                        if let Some(parent) = stack.last_mut() {
+                            parent.resumed = t;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for stack in &stacks {
+        report.unclosed_enters += stack.len() as u64;
+    }
+    out.sort_by_key(|i| (i.start, i.cpu.0, std::cmp::Reverse(i.end)));
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::SoftirqVec;
+
+    fn enter(t: u64, cpu: u16, tid: u32, a: Activity) -> Event {
+        Event {
+            t: Nanos(t),
+            cpu: CpuId(cpu),
+            tid: Tid(tid),
+            kind: EventKind::KernelEnter(a),
+        }
+    }
+    fn exit(t: u64, cpu: u16, tid: u32, a: Activity) -> Event {
+        Event {
+            t: Nanos(t),
+            cpu: CpuId(cpu),
+            tid: Tid(tid),
+            kind: EventKind::KernelExit(a),
+        }
+    }
+
+    const TIMER: Activity = Activity::TimerInterrupt;
+    const SOFTIRQ: Activity = Activity::Softirq(SoftirqVec::Timer);
+
+    #[test]
+    fn simple_pair() {
+        let trace = Trace::new(
+            vec![enter(10, 0, 1, TIMER), exit(15, 0, 1, TIMER)],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances.len(), 1);
+        let i = instances[0];
+        assert_eq!(i.activity, TIMER);
+        assert_eq!(i.start, Nanos(10));
+        assert_eq!(i.end, Nanos(15));
+        assert_eq!(i.self_time, Nanos(5));
+        assert_eq!(i.span(), Nanos(5));
+        assert_eq!(i.depth, 0);
+        assert_eq!(i.ctx, Tid(1));
+    }
+
+    #[test]
+    fn nested_self_time_excludes_children() {
+        // Softirq [10, 40) interrupted by a timer irq [20, 28):
+        // softirq self = 30 - 8 = 22; timer self = 8.
+        let trace = Trace::new(
+            vec![
+                enter(10, 0, 1, SOFTIRQ),
+                enter(20, 0, 1, TIMER),
+                exit(28, 0, 1, TIMER),
+                exit(40, 0, 1, SOFTIRQ),
+            ],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances.len(), 2);
+        // Sorted by start: softirq (parent) first.
+        assert_eq!(instances[0].activity, SOFTIRQ);
+        assert_eq!(instances[0].self_time, Nanos(22));
+        assert_eq!(instances[0].span(), Nanos(30));
+        assert_eq!(instances[0].depth, 0);
+        assert_eq!(instances[1].activity, TIMER);
+        assert_eq!(instances[1].self_time, Nanos(8));
+        assert_eq!(instances[1].depth, 1);
+        // Additivity: self times sum to the root's span.
+        let total: Nanos = instances.iter().map(|i| i.self_time).sum();
+        assert_eq!(total, instances[0].span());
+    }
+
+    #[test]
+    fn triple_nesting() {
+        let fault = Activity::PageFault(osn_kernel::activity::FaultKind::AnonZero);
+        let trace = Trace::new(
+            vec![
+                enter(0, 0, 1, fault),
+                enter(10, 0, 1, SOFTIRQ),
+                enter(12, 0, 1, TIMER),
+                exit(16, 0, 1, TIMER),
+                exit(20, 0, 1, SOFTIRQ),
+                exit(30, 0, 1, fault),
+            ],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances.len(), 3);
+        let by_act = |a: Activity| instances.iter().find(|i| i.activity == a).unwrap();
+        assert_eq!(by_act(fault).self_time, Nanos(20));
+        assert_eq!(by_act(SOFTIRQ).self_time, Nanos(6));
+        assert_eq!(by_act(TIMER).self_time, Nanos(4));
+        assert_eq!(by_act(fault).depth, 0);
+        assert_eq!(by_act(SOFTIRQ).depth, 1);
+        assert_eq!(by_act(TIMER).depth, 2);
+    }
+
+    #[test]
+    fn per_cpu_streams_are_independent() {
+        let trace = Trace::new(
+            vec![
+                enter(10, 0, 1, TIMER),
+                enter(11, 1, 2, SOFTIRQ),
+                exit(14, 1, 2, SOFTIRQ),
+                exit(15, 0, 1, TIMER),
+            ],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances.len(), 2);
+        // No cross-CPU nesting: both at depth 0.
+        assert!(instances.iter().all(|i| i.depth == 0));
+    }
+
+    #[test]
+    fn orphan_exit_reported() {
+        let trace = Trace::new(vec![exit(5, 0, 1, TIMER)], vec![]);
+        let (instances, report) = reconstruct(&trace);
+        assert!(instances.is_empty());
+        assert_eq!(report.orphan_exits, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn unclosed_enter_reported() {
+        let trace = Trace::new(vec![enter(5, 0, 1, TIMER)], vec![]);
+        let (instances, report) = reconstruct(&trace);
+        assert!(instances.is_empty());
+        assert_eq!(report.unclosed_enters, 1);
+    }
+
+    #[test]
+    fn mismatched_exit_resynchronizes() {
+        let trace = Trace::new(
+            vec![
+                enter(0, 0, 1, TIMER),
+                exit(5, 0, 1, SOFTIRQ), // wrong activity
+                enter(10, 0, 1, TIMER),
+                exit(15, 0, 1, TIMER),
+            ],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert_eq!(report.mismatched_exits, 1);
+        // The later well-formed pair still reconstructs.
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].start, Nanos(10));
+    }
+
+    #[test]
+    fn zero_duration_activity() {
+        let trace = Trace::new(
+            vec![enter(7, 0, 1, TIMER), exit(7, 0, 1, TIMER)],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances[0].self_time, Nanos(0));
+    }
+
+    #[test]
+    fn non_kernel_events_ignored() {
+        let trace = Trace::new(
+            vec![
+                enter(1, 0, 1, TIMER),
+                Event {
+                    t: Nanos(2),
+                    cpu: CpuId(0),
+                    tid: Tid(1),
+                    kind: EventKind::AppMark { mark: 0, value: 0 },
+                },
+                exit(3, 0, 1, TIMER),
+            ],
+            vec![],
+        );
+        let (instances, report) = reconstruct(&trace);
+        assert!(report.is_clean());
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].self_time, Nanos(2));
+    }
+}

@@ -1,0 +1,667 @@
+//! The paper's noise definition, applied per task: group every kernel
+//! interruption of a *runnable* application process into
+//! [`Interruption`]s and decompose each into per-activity components —
+//! exactly the per-interruption detail of the Synthetic OS Noise Chart
+//! (Figs 1b, 9b, 10) and of Fig 2b's event breakdown.
+//!
+//! Accounting rules (paper §III):
+//!
+//! 1. Only activities *not requested* by the application are noise
+//!    (syscall service shows up as a `Requested` component, reported
+//!    but excluded from noise totals).
+//! 2. Kernel activity only counts while the process is runnable;
+//!    everything that happens while it is blocked (communication, I/O
+//!    wait, sleep) is invisible to it.
+//! 3. Nested events are attributed by self time (see
+//!    [`crate::nesting`]), so component durations are additive.
+
+use std::collections::HashMap;
+
+use osn_kernel::activity::{Activity, NoiseCategory};
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::task::TaskMeta;
+use osn_kernel::time::Nanos;
+use osn_trace::Trace;
+
+use serde::{Deserialize, Serialize};
+
+use crate::nesting::{reconstruct, ActivityInstance, NestingReport};
+use crate::timeline::{build_timelines, Phase, TaskTimeline, Timelines, UNKNOWN_CPU};
+
+/// One piece of an interruption.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Component {
+    /// A kernel activity ran in the task's context (or inside its
+    /// preemption gap), for `self_time` nanoseconds.
+    Activity(Activity),
+    /// Another task ran while this one waited on a runqueue.
+    Preemption { by: Tid },
+}
+
+impl Component {
+    /// Noise category for breakdowns. `None` for requested services.
+    pub fn category(&self) -> Option<NoiseCategory> {
+        match self {
+            Component::Activity(a) => match a.category() {
+                NoiseCategory::Requested => None,
+                c => Some(c),
+            },
+            Component::Preemption { .. } => Some(NoiseCategory::Preemption),
+        }
+    }
+}
+
+/// A maximal interval during which a runnable task could not execute
+/// user code, decomposed into components.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interruption {
+    pub task: Tid,
+    pub start: Nanos,
+    pub end: Nanos,
+    /// `(component, duration)` pairs; durations sum to `duration()`.
+    pub components: Vec<(Component, Nanos)>,
+}
+
+impl Interruption {
+    #[inline]
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+
+    /// Total noise (excludes `Requested` components).
+    pub fn noise(&self) -> Nanos {
+        self.components
+            .iter()
+            .filter(|(c, _)| c.category().is_some())
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// Noise by category.
+    pub fn by_category(&self) -> HashMap<NoiseCategory, Nanos> {
+        let mut map = HashMap::new();
+        for (c, d) in &self.components {
+            if let Some(cat) = c.category() {
+                *map.entry(cat).or_insert(Nanos::ZERO) += *d;
+            }
+        }
+        map
+    }
+
+    /// Does any component match this activity?
+    pub fn contains_activity(&self, activity: Activity) -> bool {
+        self.components
+            .iter()
+            .any(|(c, _)| matches!(c, Component::Activity(a) if *a == activity))
+    }
+}
+
+/// All noise experienced by one task.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TaskNoise {
+    pub tid: Tid,
+    pub interruptions: Vec<Interruption>,
+    /// Total time the task was runnable (running + ready).
+    pub runnable_time: Nanos,
+    /// Total time actually on a CPU.
+    pub running_time: Nanos,
+    /// Wall extent (first to last span).
+    pub wall: Nanos,
+}
+
+impl TaskNoise {
+    /// Total noise across all interruptions.
+    pub fn total_noise(&self) -> Nanos {
+        self.interruptions.iter().map(|i| i.noise()).sum()
+    }
+
+    /// Noise by category.
+    pub fn by_category(&self) -> HashMap<NoiseCategory, Nanos> {
+        let mut map = HashMap::new();
+        for i in &self.interruptions {
+            for (cat, d) in i.by_category() {
+                *map.entry(cat).or_insert(Nanos::ZERO) += d;
+            }
+        }
+        map
+    }
+
+    /// All `(start, self_time)` samples of a specific activity (for
+    /// per-event statistics and histograms).
+    pub fn activity_samples(&self, matches: impl Fn(Activity) -> bool) -> Vec<(Nanos, Nanos)> {
+        let mut out = Vec::new();
+        for i in &self.interruptions {
+            for (c, d) in &i.components {
+                if let Component::Activity(a) = c {
+                    if matches(*a) {
+                        out.push((i.start, *d));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The complete noise analysis of a trace.
+pub struct NoiseAnalysis {
+    /// Every reconstructed kernel activity instance (all contexts).
+    pub instances: Vec<ActivityInstance>,
+    pub nesting_report: NestingReport,
+    pub timelines: Timelines,
+    /// Noise per analyzed (application) task.
+    pub tasks: HashMap<Tid, TaskNoise>,
+    /// Trace end used to close open spans.
+    pub end: Nanos,
+}
+
+impl NoiseAnalysis {
+    /// Analyze a trace. `end` should be the run's end time.
+    pub fn analyze(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> NoiseAnalysis {
+        let (instances, nesting_report) = reconstruct(trace);
+        let timelines = build_timelines(trace, tasks, end);
+
+        // Per-CPU instance index, sorted by start (reconstruct() sorts
+        // globally by start already).
+        let ncpus = instances
+            .iter()
+            .map(|i| i.cpu.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut per_cpu: Vec<Vec<&ActivityInstance>> = vec![Vec::new(); ncpus];
+        for inst in &instances {
+            per_cpu[inst.cpu.0 as usize].push(inst);
+        }
+
+        // Per-CPU running segments of every task (for preemptor
+        // attribution).
+        let mut running: Vec<Vec<(Nanos, Nanos, Tid)>> = vec![Vec::new(); ncpus];
+        for (tid, tl) in timelines.iter() {
+            for span in tl.spans.iter() {
+                if let Phase::Running(cpu) = span.phase {
+                    if (cpu.0 as usize) < ncpus {
+                        running[cpu.0 as usize].push((span.start, span.end, *tid));
+                    }
+                }
+            }
+        }
+        for segs in &mut running {
+            segs.sort_unstable_by_key(|(s, _, _)| *s);
+        }
+
+        let mut result: HashMap<Tid, TaskNoise> = HashMap::new();
+        for meta in tasks.iter().filter(|m| m.kind == "app") {
+            let Some(tl) = timelines.get(meta.tid) else {
+                continue;
+            };
+            let noise = analyze_task(meta.tid, tl, &per_cpu, &running);
+            result.insert(meta.tid, noise);
+        }
+
+        NoiseAnalysis {
+            instances,
+            nesting_report,
+            timelines,
+            tasks: result,
+            end,
+        }
+    }
+
+    /// All interruptions of a set of tasks, merged and time-sorted
+    /// (job-level view).
+    pub fn interruptions_of(&self, tids: &[Tid]) -> Vec<&Interruption> {
+        let mut out: Vec<&Interruption> = tids
+            .iter()
+            .filter_map(|t| self.tasks.get(t))
+            .flat_map(|tn| tn.interruptions.iter())
+            .collect();
+        out.sort_by_key(|i| i.start);
+        out
+    }
+}
+
+/// Obstruction interval: a piece of time the task could not run user
+/// code, with its decomposition source.
+enum Obstruction<'a> {
+    /// Kernel activity in the task's own context.
+    OwnContext(&'a ActivityInstance),
+    /// Waiting on `cpu`'s runqueue.
+    ReadyGap { start: Nanos, end: Nanos, cpu: CpuId },
+}
+
+impl Obstruction<'_> {
+    fn interval(&self) -> (Nanos, Nanos) {
+        match self {
+            Obstruction::OwnContext(i) => (i.start, i.end),
+            Obstruction::ReadyGap { start, end, .. } => (*start, *end),
+        }
+    }
+}
+
+fn analyze_task(
+    tid: Tid,
+    tl: &TaskTimeline,
+    per_cpu: &[Vec<&ActivityInstance>],
+    running: &[Vec<(Nanos, Nanos, Tid)>],
+) -> TaskNoise {
+    // Gather obstructions.
+    let mut obstructions: Vec<Obstruction<'_>> = Vec::new();
+    for cpu_insts in per_cpu {
+        for inst in cpu_insts {
+            if inst.ctx == tid && tl.runnable_at(inst.start) {
+                obstructions.push(Obstruction::OwnContext(inst));
+            }
+        }
+    }
+    for span in tl.ready_spans() {
+        let Phase::Ready(cpu) = span.phase else {
+            unreachable!()
+        };
+        obstructions.push(Obstruction::ReadyGap {
+            start: span.start,
+            end: span.end,
+            cpu,
+        });
+    }
+    obstructions.sort_by_key(|o| o.interval());
+
+    // Merge touching/overlapping obstructions into interruptions.
+    let mut interruptions: Vec<Interruption> = Vec::new();
+    let mut group: Vec<&Obstruction<'_>> = Vec::new();
+    let mut group_end = Nanos::ZERO;
+
+    let flush = |group: &mut Vec<&Obstruction<'_>>,
+                 interruptions: &mut Vec<Interruption>| {
+        if group.is_empty() {
+            return;
+        }
+        let start = group.iter().map(|o| o.interval().0).min().unwrap();
+        let end = group.iter().map(|o| o.interval().1).max().unwrap();
+        let mut components: Vec<(Component, Nanos)> = Vec::new();
+        for o in group.iter() {
+            match o {
+                Obstruction::OwnContext(inst) => {
+                    if !inst.self_time.is_zero() {
+                        components.push((Component::Activity(inst.activity), inst.self_time));
+                    }
+                }
+                Obstruction::ReadyGap { start, end, cpu } => {
+                    decompose_gap(tid, *start, *end, *cpu, per_cpu, running, &mut components);
+                }
+            }
+        }
+        interruptions.push(Interruption {
+            task: tid,
+            start,
+            end,
+            components,
+        });
+        group.clear();
+    };
+
+    for o in &obstructions {
+        let (s, e) = o.interval();
+        if group.is_empty() || s <= group_end {
+            group.push(o);
+            group_end = group_end.max(e);
+        } else {
+            flush(&mut group, &mut interruptions);
+            group.push(o);
+            group_end = e;
+        }
+    }
+    flush(&mut group, &mut interruptions);
+
+    let runnable_time = tl.time_where(|p| p.is_runnable());
+    let running_time = tl.time_where(|p| p.is_running());
+    let wall = tl
+        .extent()
+        .map(|(s, e)| e - s)
+        .unwrap_or(Nanos::ZERO);
+
+    TaskNoise {
+        tid,
+        interruptions,
+        runnable_time,
+        running_time,
+        wall,
+    }
+}
+
+/// Decompose a Ready gap on `cpu` into categorized kernel components
+/// plus a preemption remainder attributed to the dominant preemptor.
+fn decompose_gap(
+    tid: Tid,
+    start: Nanos,
+    end: Nanos,
+    cpu: CpuId,
+    per_cpu: &[Vec<&ActivityInstance>],
+    running: &[Vec<(Nanos, Nanos, Tid)>],
+    components: &mut Vec<(Component, Nanos)>,
+) {
+    let gap = end - start;
+    if gap.is_zero() {
+        return;
+    }
+    let mut kernel_time = Nanos::ZERO;
+    if cpu != UNKNOWN_CPU && (cpu.0 as usize) < per_cpu.len() {
+        let insts = &per_cpu[cpu.0 as usize];
+        // Instances are sorted by start: find the window in the gap.
+        let lo = insts.partition_point(|i| i.start < start);
+        for inst in &insts[lo..] {
+            if inst.start >= end {
+                break;
+            }
+            if inst.ctx == tid {
+                continue; // already counted as OwnContext
+            }
+            // Only asynchronous kernel work (interrupt top halves and
+            // softirqs) is re-categorized out of the gap: that work
+            // would have hit this CPU regardless of who ran. The
+            // preempting task's own faults, syscalls and schedule
+            // frames are part of "kernel and user daemons that preempt
+            // the application's processes" (§IV-A) and stay in the
+            // preemption bucket. Straddling fragments also stay
+            // (partial self-times would distort duration statistics).
+            let categorized = (inst.activity.is_hardirq()
+                || matches!(inst.activity, Activity::Softirq(_)))
+                && inst.end <= end;
+            if categorized && !inst.self_time.is_zero() {
+                components.push((Component::Activity(inst.activity), inst.self_time));
+                kernel_time += inst.self_time;
+            }
+        }
+    }
+    let remainder = gap.saturating_sub(kernel_time);
+    if remainder.is_zero() {
+        return;
+    }
+    // Dominant preemptor: the task with the largest running overlap in
+    // the gap on this runqueue's CPU.
+    let by = if cpu != UNKNOWN_CPU && (cpu.0 as usize) < running.len() {
+        let segs = &running[cpu.0 as usize];
+        let lo = segs.partition_point(|(_, e, _)| *e <= start);
+        let mut overlap: HashMap<Tid, Nanos> = HashMap::new();
+        for &(s, e, who) in &segs[lo..] {
+            if s >= end {
+                break;
+            }
+            if who == tid {
+                continue;
+            }
+            let o = e.min(end).saturating_sub(s.max(start));
+            if !o.is_zero() {
+                *overlap.entry(who).or_insert(Nanos::ZERO) += o;
+            }
+        }
+        overlap
+            .into_iter()
+            .max_by_key(|(_, d)| *d)
+            .map(|(who, _)| who)
+            .unwrap_or(Tid::IDLE)
+    } else {
+        Tid::IDLE
+    };
+    components.push((Component::Preemption { by }, remainder));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::{SchedPart, SoftirqVec};
+    use osn_kernel::hooks::SwitchState;
+    use osn_trace::{Event, EventKind};
+
+    const TIMER: Activity = Activity::TimerInterrupt;
+    const TSOFT: Activity = Activity::Softirq(SoftirqVec::Timer);
+    const PRE: Activity = Activity::Schedule(SchedPart::Before);
+    const POST: Activity = Activity::Schedule(SchedPart::After);
+
+    fn ev(t: u64, cpu: u16, tid: u32, kind: EventKind) -> Event {
+        Event {
+            t: Nanos(t),
+            cpu: CpuId(cpu),
+            tid: Tid(tid),
+            kind,
+        }
+    }
+
+    fn meta(tid: u32, kind: &str) -> TaskMeta {
+        TaskMeta {
+            tid: Tid(tid),
+            name: format!("t{tid}"),
+            kind: kind.into(),
+            job: None,
+            rank: 0,
+            user_time: Nanos::ZERO,
+            faults: 0,
+        }
+    }
+
+    /// The paper's Fig 2b scenario: tick + softirq + schedule +
+    /// daemon preemption + schedule = ONE interruption with five
+    /// components.
+    #[test]
+    fn fig2b_interruption_decomposition() {
+        let app = 1u32;
+        let daemon = 2u32;
+        let events = vec![
+            // App starts running at t=0.
+            ev(
+                0,
+                0,
+                0,
+                EventKind::SchedSwitch {
+                    prev: Tid(0),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(app),
+                },
+            ),
+            // Timer irq [1000, 3178) in app ctx.
+            ev(1000, 0, app, EventKind::KernelEnter(TIMER)),
+            ev(3178, 0, app, EventKind::KernelExit(TIMER)),
+            // run_timer_softirq [3178, 5020), wakes the daemon.
+            ev(3178, 0, app, EventKind::KernelEnter(TSOFT)),
+            ev(
+                4000,
+                0,
+                daemon,
+                EventKind::Wakeup {
+                    tid: Tid(daemon),
+                    waker: Tid(app),
+                },
+            ),
+            ev(5020, 0, app, EventKind::KernelExit(TSOFT)),
+            // schedule pre [5020, 5402) in app ctx.
+            ev(5020, 0, app, EventKind::KernelEnter(PRE)),
+            ev(5402, 0, app, EventKind::KernelExit(PRE)),
+            // switch app -> daemon (app preempted).
+            ev(
+                5402,
+                0,
+                app,
+                EventKind::SchedSwitch {
+                    prev: Tid(app),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(daemon),
+                },
+            ),
+            // daemon's schedule post [5402, 5581) in daemon ctx.
+            ev(5402, 0, daemon, EventKind::KernelEnter(POST)),
+            ev(5581, 0, daemon, EventKind::KernelExit(POST)),
+            // daemon runs user work until 7617, then blocks: sched pre.
+            ev(7617, 0, daemon, EventKind::KernelEnter(PRE)),
+            ev(7900, 0, daemon, EventKind::KernelExit(PRE)),
+            ev(
+                7900,
+                0,
+                daemon,
+                EventKind::SchedSwitch {
+                    prev: Tid(daemon),
+                    prev_state: SwitchState::BlockedWait,
+                    next: Tid(app),
+                },
+            ),
+            // app's schedule post [7900, 8079).
+            ev(7900, 0, app, EventKind::KernelEnter(POST)),
+            ev(8079, 0, app, EventKind::KernelExit(POST)),
+        ];
+        let trace = Trace::new(events, vec![]);
+        let tasks = [meta(app, "app"), meta(daemon, "events")];
+        let analysis = NoiseAnalysis::analyze(&trace, &tasks, Nanos(20_000));
+        assert!(analysis.nesting_report.is_clean());
+
+        let tn = analysis.tasks.get(&Tid(app)).unwrap();
+        assert_eq!(
+            tn.interruptions.len(),
+            1,
+            "one merged interruption, got {:?}",
+            tn.interruptions
+        );
+        let i = &tn.interruptions[0];
+        assert_eq!(i.start, Nanos(1000));
+        assert_eq!(i.end, Nanos(8079));
+        // Components: timer 2178 and softirq 1842 in the app's own
+        // context; the app's schedule halves 382 + 179; the whole gap
+        // (daemon residency including its own schedule frames) is
+        // preemption — §IV-A's "kernel and user daemons that preempt
+        // the application's processes".
+        let get = |c: Component| -> Nanos {
+            i.components
+                .iter()
+                .filter(|(cc, _)| *cc == c)
+                .map(|(_, d)| *d)
+                .sum()
+        };
+        assert_eq!(get(Component::Activity(TIMER)), Nanos(2178));
+        assert_eq!(get(Component::Activity(TSOFT)), Nanos(1842));
+        assert_eq!(get(Component::Activity(PRE)), Nanos(382));
+        assert_eq!(get(Component::Activity(POST)), Nanos(179));
+        let preempt = get(Component::Preemption { by: Tid(daemon) });
+        assert_eq!(preempt, Nanos(7900 - 5402));
+        // Components sum to the interruption duration.
+        let total: Nanos = i.components.iter().map(|(_, d)| *d).sum();
+        assert_eq!(total, i.duration());
+        // Category view.
+        let cats = i.by_category();
+        assert_eq!(cats[&NoiseCategory::Periodic], Nanos(2178 + 1842));
+        assert_eq!(cats[&NoiseCategory::Scheduling], Nanos(382 + 179));
+        assert_eq!(cats[&NoiseCategory::Preemption], preempt);
+    }
+
+    #[test]
+    fn blocked_task_sees_no_noise() {
+        // Task blocks on comm at t=10; a timer interrupt at t=20 in the
+        // idle ctx must NOT appear in its noise.
+        let events = vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::SchedSwitch {
+                    prev: Tid(0),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(1),
+                },
+            ),
+            ev(
+                10,
+                0,
+                1,
+                EventKind::SchedSwitch {
+                    prev: Tid(1),
+                    prev_state: SwitchState::BlockedComm,
+                    next: Tid(0),
+                },
+            ),
+            ev(20, 0, 0, EventKind::KernelEnter(TIMER)),
+            ev(25, 0, 0, EventKind::KernelExit(TIMER)),
+        ];
+        let trace = Trace::new(events, vec![]);
+        let analysis = NoiseAnalysis::analyze(&trace, &[meta(1, "app")], Nanos(100));
+        let tn = analysis.tasks.get(&Tid(1)).unwrap();
+        assert_eq!(tn.total_noise(), Nanos::ZERO);
+        assert!(tn.interruptions.is_empty());
+    }
+
+    #[test]
+    fn syscall_is_requested_not_noise() {
+        let read = Activity::Syscall(osn_kernel::activity::SyscallKind::Read);
+        let events = vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::SchedSwitch {
+                    prev: Tid(0),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(1),
+                },
+            ),
+            ev(10, 0, 1, EventKind::KernelEnter(read)),
+            ev(30, 0, 1, EventKind::KernelExit(read)),
+        ];
+        let trace = Trace::new(events, vec![]);
+        let analysis = NoiseAnalysis::analyze(&trace, &[meta(1, "app")], Nanos(100));
+        let tn = analysis.tasks.get(&Tid(1)).unwrap();
+        // The syscall produced an interruption record...
+        assert_eq!(tn.interruptions.len(), 1);
+        // ...but contributes zero *noise*.
+        assert_eq!(tn.total_noise(), Nanos::ZERO);
+        assert_eq!(tn.interruptions[0].duration(), Nanos(20));
+    }
+
+    #[test]
+    fn separate_interruptions_stay_separate() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::SchedSwitch {
+                    prev: Tid(0),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(1),
+                },
+            ),
+            ev(100, 0, 1, EventKind::KernelEnter(TIMER)),
+            ev(110, 0, 1, EventKind::KernelExit(TIMER)),
+            ev(500, 0, 1, EventKind::KernelEnter(TIMER)),
+            ev(512, 0, 1, EventKind::KernelExit(TIMER)),
+        ];
+        let trace = Trace::new(events, vec![]);
+        let analysis = NoiseAnalysis::analyze(&trace, &[meta(1, "app")], Nanos(1000));
+        let tn = analysis.tasks.get(&Tid(1)).unwrap();
+        assert_eq!(tn.interruptions.len(), 2);
+        assert_eq!(tn.interruptions[0].duration(), Nanos(10));
+        assert_eq!(tn.interruptions[1].duration(), Nanos(12));
+        assert_eq!(tn.total_noise(), Nanos(22));
+    }
+
+    #[test]
+    fn activity_samples_extraction() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                0,
+                EventKind::SchedSwitch {
+                    prev: Tid(0),
+                    prev_state: SwitchState::Preempted,
+                    next: Tid(1),
+                },
+            ),
+            ev(100, 0, 1, EventKind::KernelEnter(TIMER)),
+            ev(110, 0, 1, EventKind::KernelExit(TIMER)),
+            ev(500, 0, 1, EventKind::KernelEnter(TSOFT)),
+            ev(507, 0, 1, EventKind::KernelExit(TSOFT)),
+        ];
+        let trace = Trace::new(events, vec![]);
+        let analysis = NoiseAnalysis::analyze(&trace, &[meta(1, "app")], Nanos(1000));
+        let tn = analysis.tasks.get(&Tid(1)).unwrap();
+        let timers = tn.activity_samples(|a| a == TIMER);
+        assert_eq!(timers, vec![(Nanos(100), Nanos(10))]);
+        let all = tn.activity_samples(|a| a.is_noise());
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-event quantitative statistics: the frequency and duration
+//! analysis of the paper's Tables I–VI.
+
+use osn_kernel::activity::{Activity, SoftirqVec};
+use osn_kernel::ids::Tid;
+use osn_kernel::time::Nanos;
+
+use serde::{Deserialize, Serialize};
+
+use crate::noise::NoiseAnalysis;
+
+/// The event classes the paper reports statistics for (each table row
+/// aggregates over the class, e.g. all page-fault kinds together).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum EventClass {
+    PageFault,
+    TimerInterrupt,
+    RunTimerSoftirq,
+    NetworkInterrupt,
+    NetRxAction,
+    NetTxAction,
+    RebalanceDomains,
+    RcuCallbacks,
+    Schedule,
+    HrTimer,
+}
+
+impl EventClass {
+    pub const ALL: [EventClass; 10] = [
+        EventClass::PageFault,
+        EventClass::TimerInterrupt,
+        EventClass::RunTimerSoftirq,
+        EventClass::NetworkInterrupt,
+        EventClass::NetRxAction,
+        EventClass::NetTxAction,
+        EventClass::RebalanceDomains,
+        EventClass::RcuCallbacks,
+        EventClass::Schedule,
+        EventClass::HrTimer,
+    ];
+
+    pub fn matches(self, a: Activity) -> bool {
+        match self {
+            EventClass::PageFault => matches!(a, Activity::PageFault(_)),
+            EventClass::TimerInterrupt => a == Activity::TimerInterrupt,
+            EventClass::RunTimerSoftirq => a == Activity::Softirq(SoftirqVec::Timer),
+            EventClass::NetworkInterrupt => a == Activity::NetworkInterrupt,
+            EventClass::NetRxAction => a == Activity::Softirq(SoftirqVec::NetRx),
+            EventClass::NetTxAction => a == Activity::Softirq(SoftirqVec::NetTx),
+            EventClass::RebalanceDomains => a == Activity::Softirq(SoftirqVec::Rebalance),
+            EventClass::RcuCallbacks => a == Activity::Softirq(SoftirqVec::Rcu),
+            EventClass::Schedule => matches!(a, Activity::Schedule(_)),
+            EventClass::HrTimer => a == Activity::HrTimerInterrupt,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventClass::PageFault => "page_fault",
+            EventClass::TimerInterrupt => "timer_interrupt",
+            EventClass::RunTimerSoftirq => "run_timer_softirq",
+            EventClass::NetworkInterrupt => "network_interrupt",
+            EventClass::NetRxAction => "net_rx_action",
+            EventClass::NetTxAction => "net_tx_action",
+            EventClass::RebalanceDomains => "run_rebalance_domains",
+            EventClass::RcuCallbacks => "rcu_process_callbacks",
+            EventClass::Schedule => "schedule",
+            EventClass::HrTimer => "hrtimer",
+        }
+    }
+}
+
+/// One row of a paper statistics table: frequency and duration of one
+/// event class over a set of tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventStats {
+    pub count: u64,
+    /// Events per second of application wall time.
+    pub freq_per_sec: f64,
+    pub avg: Nanos,
+    pub max: Nanos,
+    pub min: Nanos,
+    pub total: Nanos,
+}
+
+impl EventStats {
+    pub fn empty() -> Self {
+        EventStats {
+            count: 0,
+            freq_per_sec: 0.0,
+            avg: Nanos::ZERO,
+            max: Nanos::ZERO,
+            min: Nanos::ZERO,
+            total: Nanos::ZERO,
+        }
+    }
+
+    /// Compute from raw duration samples and a wall-time basis.
+    pub fn from_samples(durations: &[Nanos], wall: Nanos) -> Self {
+        if durations.is_empty() {
+            return EventStats::empty();
+        }
+        let count = durations.len() as u64;
+        let total: Nanos = durations.iter().copied().sum();
+        let min = durations.iter().copied().min().unwrap();
+        let max = durations.iter().copied().max().unwrap();
+        let avg = Nanos(total.as_nanos() / count);
+        let freq_per_sec = if wall.is_zero() {
+            0.0
+        } else {
+            count as f64 / wall.as_secs_f64()
+        };
+        EventStats {
+            count,
+            freq_per_sec,
+            avg,
+            max,
+            min,
+            total,
+        }
+    }
+}
+
+/// Collect the duration samples of an event class across a set of
+/// tasks' noise records.
+pub fn class_samples(analysis: &NoiseAnalysis, tids: &[Tid], class: EventClass) -> Vec<Nanos> {
+    let mut out = Vec::new();
+    for tid in tids {
+        if let Some(tn) = analysis.tasks.get(tid) {
+            out.extend(
+                tn.activity_samples(|a| class.matches(a))
+                    .into_iter()
+                    .map(|(_, d)| d),
+            );
+        }
+    }
+    out
+}
+
+/// Timestamped duration samples of an event class (for placement
+/// traces like Fig 5).
+pub fn class_samples_timed(
+    analysis: &NoiseAnalysis,
+    tids: &[Tid],
+    class: EventClass,
+) -> Vec<(Nanos, Nanos)> {
+    let mut out = Vec::new();
+    for tid in tids {
+        if let Some(tn) = analysis.tasks.get(tid) {
+            out.extend(
+                tn.activity_samples(|a| class.matches(a)),
+            );
+        }
+    }
+    out.sort_by_key(|(t, _)| *t);
+    out
+}
+
+/// The paper-table statistic for one event class over one job: the
+/// wall basis is the longest rank extent (the application's runtime).
+pub fn class_stats(analysis: &NoiseAnalysis, tids: &[Tid], class: EventClass) -> EventStats {
+    let samples = class_samples(analysis, tids, class);
+    let wall = tids
+        .iter()
+        .filter_map(|t| analysis.tasks.get(t))
+        .map(|tn| tn.wall)
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    EventStats::from_samples(&samples, wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::{FaultKind, SchedPart};
+
+    #[test]
+    fn class_matching() {
+        assert!(EventClass::PageFault.matches(Activity::PageFault(FaultKind::Cow)));
+        assert!(EventClass::PageFault.matches(Activity::PageFault(FaultKind::AnonZero)));
+        assert!(!EventClass::PageFault.matches(Activity::TimerInterrupt));
+        assert!(EventClass::Schedule.matches(Activity::Schedule(SchedPart::Before)));
+        assert!(EventClass::Schedule.matches(Activity::Schedule(SchedPart::After)));
+        assert!(EventClass::NetRxAction.matches(Activity::Softirq(SoftirqVec::NetRx)));
+        assert!(!EventClass::NetRxAction.matches(Activity::Softirq(SoftirqVec::NetTx)));
+    }
+
+    #[test]
+    fn every_noise_activity_has_at_most_one_class() {
+        for a in Activity::all() {
+            let classes = EventClass::ALL
+                .iter()
+                .filter(|c| c.matches(a))
+                .count();
+            assert!(classes <= 1, "{a} matched {classes} classes");
+            if a.is_noise() {
+                assert_eq!(classes, 1, "noise activity {a} unclassified");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_from_samples() {
+        let samples = vec![Nanos(100), Nanos(300), Nanos(200)];
+        let s = EventStats::from_samples(&samples, Nanos::from_secs(2));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, Nanos(100));
+        assert_eq!(s.max, Nanos(300));
+        assert_eq!(s.avg, Nanos(200));
+        assert_eq!(s.total, Nanos(600));
+        assert!((s.freq_per_sec - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = EventStats::from_samples(&[], Nanos::from_secs(1));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.freq_per_sec, 0.0);
+        assert_eq!(s, EventStats::empty());
+    }
+
+    #[test]
+    fn zero_wall_basis() {
+        let s = EventStats::from_samples(&[Nanos(5)], Nanos::ZERO);
+        assert_eq!(s.freq_per_sec, 0.0);
+        assert_eq!(s.count, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline analysis throughput: nesting reconstruction and the full
+//! noise analysis over a real traced run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use osn_analysis::nesting::reconstruct;
+use osn_analysis::NoiseAnalysis;
+use osn_core::{run_app, ExperimentConfig};
+use osn_kernel::time::Nanos;
+use osn_workloads::App;
+
+fn bench_analysis(c: &mut Criterion) {
+    // One real AMG run provides the input trace.
+    let run = run_app(ExperimentConfig::paper(App::Amg, Nanos::from_secs(2)));
+    let nevents = run.trace.len() as u64;
+
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(nevents));
+    group.bench_function("nesting_reconstruct", |b| {
+        b.iter(|| black_box(reconstruct(black_box(&run.trace))));
+    });
+    group.bench_function("full_noise_analysis", |b| {
+        b.iter(|| {
+            black_box(NoiseAnalysis::analyze(
+                black_box(&run.trace),
+                &run.result.tasks,
+                run.result.end_time,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Native FTQ micro-costs: the basic operation and a full quantum loop
+//! on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use osn_ftq::native::{basic_op, run_native};
+use osn_kernel::time::Nanos;
+
+fn bench_ftq_native(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftq_native");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("basic_op", |b| {
+        let mut acc = 1u64;
+        b.iter(|| {
+            acc = basic_op(black_box(acc));
+            black_box(acc)
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("ftq_50_quanta_200us", |b| {
+        b.iter(|| black_box(run_native(Nanos::from_micros(200), 50)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftq_native);
+criterion_main!(benches);

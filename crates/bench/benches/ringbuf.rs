@@ -1,0 +1,81 @@
+//! Ring-buffer throughput: the tracer's hot path. LTTng-class tracers
+//! need sub-100ns record costs; this bench verifies the lock-free ring
+//! delivers that.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use osn_kernel::activity::Activity;
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+use osn_trace::ringbuf::ring;
+use osn_trace::{Event, EventKind};
+
+fn sample_event(i: u64) -> Event {
+    Event {
+        t: Nanos(i),
+        cpu: CpuId(0),
+        tid: Tid(1),
+        kind: EventKind::KernelEnter(Activity::TimerInterrupt),
+    }
+}
+
+fn bench_ringbuf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ringbuf");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("push_pop_event", |b| {
+        let (mut producer, mut consumer) = ring::<Event>(1 << 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            producer.push(black_box(sample_event(i)));
+            i += 1;
+            black_box(consumer.pop())
+        });
+    });
+
+    group.bench_function("push_batch_1k_then_drain", |b| {
+        b.iter_batched(
+            || ring::<Event>(1 << 12),
+            |(mut producer, mut consumer)| {
+                for i in 0..1000 {
+                    producer.push(sample_event(i));
+                }
+                let mut out = Vec::with_capacity(1000);
+                consumer.drain_into(&mut out);
+                black_box(out)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.sample_size(10);
+    group.bench_function("concurrent_stream_100k", |b| {
+        b.iter(|| {
+            let (mut producer, mut consumer) = ring::<u64>(1 << 10);
+            let handle = std::thread::spawn(move || {
+                let mut sent = 0u64;
+                for i in 0..100_000u64 {
+                    while !producer.push(i) {
+                        std::hint::spin_loop();
+                    }
+                    sent += 1;
+                }
+                sent
+            });
+            let mut received = 0u64;
+            while received < 100_000 {
+                if consumer.pop().is_some() {
+                    received += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            black_box(handle.join().unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ringbuf);
+criterion_main!(benches);

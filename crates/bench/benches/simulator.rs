@@ -1,0 +1,49 @@
+//! Simulator speed: simulated-seconds per wall-second and trace events
+//! per second for the standard AMG configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use osn_core::{run_app, ExperimentConfig};
+use osn_kernel::hooks::NullProbe;
+use osn_kernel::prelude::*;
+use osn_workloads::App;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    group.bench_function("amg_500ms_traced", |b| {
+        b.iter(|| {
+            let config = ExperimentConfig::paper(App::Amg, Nanos::from_millis(500));
+            black_box(run_app(config))
+        });
+    });
+
+    group.bench_function("amg_500ms_untraced", |b| {
+        b.iter(|| {
+            let cfg = NodeConfig::default().with_horizon(Nanos::from_secs(2));
+            let mut node = Node::new(cfg);
+            node.spawn_job("amg", osn_workloads::ranks(App::Amg, 8, Nanos::from_millis(500)));
+            black_box(node.run(&mut NullProbe))
+        });
+    });
+
+    group.bench_function("busy_loop_1s_8cpus", |b| {
+        b.iter(|| {
+            let cfg = NodeConfig::default().with_horizon(Nanos::from_secs(2));
+            let mut node = Node::new(cfg);
+            node.spawn_job(
+                "busy",
+                (0..8)
+                    .map(|_| Box::new(BusyLoop::new(Nanos::from_secs(1))) as Box<dyn Workload>)
+                    .collect(),
+            );
+            black_box(node.run(&mut NullProbe))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Wire-format encode/decode throughput for trace files.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use osn_kernel::activity::Activity;
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+use osn_trace::wire::{decode, encode};
+use osn_trace::{Event, EventKind, Trace};
+
+fn synthetic_trace(n: usize) -> Trace {
+    let events = (0..n)
+        .map(|i| Event {
+            t: Nanos(i as u64 * 100),
+            cpu: CpuId((i % 8) as u16),
+            tid: Tid(1 + (i % 10) as u32),
+            kind: if i % 2 == 0 {
+                EventKind::KernelEnter(Activity::from_code(1 + (i % 21) as u16).unwrap())
+            } else {
+                EventKind::KernelExit(Activity::from_code(1 + ((i - 1) % 21) as u16).unwrap())
+            },
+        })
+        .collect();
+    Trace {
+        events,
+        lost: vec![0; 8],
+    }
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let trace = synthetic_trace(100_000);
+    let encoded = encode(&trace);
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(trace.events.len() as u64));
+    group.bench_function("encode_100k_events", |b| {
+        b.iter(|| black_box(encode(black_box(&trace))));
+    });
+    group.bench_function("decode_100k_events", |b| {
+        b.iter(|| black_box(decode(black_box(encoded.clone())).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

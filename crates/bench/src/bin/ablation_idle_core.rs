@@ -1,0 +1,49 @@
+//! Ablation (Petrini et al., SC'03): "leaving one processor idle to
+//! take care of the system activities led to a performance improvement"
+//! — run LAMMPS with 8 ranks on 8 CPUs vs 7 ranks with the kernel
+//! daemons pinned to the spare CPU, and compare per-rank preemption
+//! noise.
+
+use osn_core::analysis::Breakdown;
+use osn_core::kernel::activity::NoiseCategory;
+use osn_core::kernel::ids::CpuId;
+use osn_core::workloads::App;
+use osn_core::{run_app, ExperimentConfig};
+
+fn main() {
+    let dur = osn_bench::duration();
+    let app = App::Lammps;
+
+    let run = |nranks: usize, daemon_cpu: Option<CpuId>| {
+        let mut config = ExperimentConfig::paper(app, dur).with_seed(osn_bench::seed());
+        config.nranks = nranks;
+        config.node.daemon_cpu = daemon_cpu;
+        // With a reserved CPU, interrupts also go there.
+        if let Some(cpu) = daemon_cpu {
+            config.node.net_irq_cpu = cpu;
+        }
+        let run = run_app(config);
+        let b = Breakdown::compute(&run.analysis, &run.ranks);
+        (run.wall(), b)
+    };
+
+    println!("== idle-core ablation: {} ({}s sim) ==", app.name().to_uppercase(), dur.as_secs_f64());
+    let (wall8, b8) = run(8, None);
+    println!(
+        "  8 ranks, shared CPUs:   wall {}  noise/run {:.3}%  preemption {:.1}%",
+        wall8,
+        b8.noise_ratio() * 100.0,
+        b8.fraction(NoiseCategory::Preemption) * 100.0
+    );
+    let (wall7, b7) = run(7, Some(CpuId(7)));
+    println!(
+        "  7 ranks + OS core 7:    wall {}  noise/run {:.3}%  preemption {:.1}%",
+        wall7,
+        b7.noise_ratio() * 100.0,
+        b7.fraction(NoiseCategory::Preemption) * 100.0
+    );
+    println!(
+        "\nnoise reduction: {:.1}x (paper context: Petrini saw 1.87x app speedup at 8k CPUs)",
+        b8.noise_ratio() / b7.noise_ratio().max(1e-9)
+    );
+}

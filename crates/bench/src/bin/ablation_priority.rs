@@ -1,0 +1,54 @@
+//! Ablation (Jones et al. SC'03 / HPL, the paper's refs [23][24]):
+//! "prioritizing HPC processes over user and kernel daemons" — run
+//! LAMMPS at normal priority vs elevated priority and compare the
+//! preemption noise the ranks experience.
+
+use osn_core::analysis::{Breakdown, NoiseAnalysis};
+use osn_core::kernel::activity::NoiseCategory;
+use osn_core::kernel::node::Node;
+use osn_core::kernel::prelude::*;
+use osn_core::kernel::task::SchedClass;
+use osn_core::trace::TraceSession;
+use osn_core::workloads::App;
+
+fn run(app: App, class: SchedClass) -> (f64, f64) {
+    let dur = osn_bench::duration().min(Nanos::from_secs(10));
+    let cfg = NodeConfig::default()
+        .with_seed(osn_bench::seed())
+        .with_horizon(dur * 3);
+    let cpus = cfg.cpus as usize;
+    let mut node = Node::new(cfg);
+    let job = node.spawn_job_with_class(
+        app.name(),
+        osn_core::workloads::ranks(app, cpus, dur),
+        class,
+    );
+    let (session, mut tracer) = TraceSession::with_defaults(cpus);
+    let result = node.run(&mut tracer);
+    let trace = session.stop();
+    let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
+    let ranks = result.job_ranks(job);
+    let b = Breakdown::compute(&analysis, &ranks);
+    (b.noise_ratio(), b.fraction(NoiseCategory::Preemption))
+}
+
+fn main() {
+    println!("== priority ablation (paper refs [23][24]): elevate rank priority ==");
+    for app in [App::Sphot, App::Lammps] {
+        let (normal_noise, normal_preempt) = run(app, SchedClass::Normal);
+        let (hi_noise, hi_preempt) = run(app, SchedClass::Daemon);
+        println!(
+            "  {:<8} nice-0: noise {:.4}% (preempt {:.0}%)  prioritized: noise {:.4}% (preempt {:.0}%)  -> {:.2}x",
+            app.name().to_uppercase(),
+            normal_noise * 100.0,
+            normal_preempt * 100.0,
+            hi_noise * 100.0,
+            hi_preempt * 100.0,
+            normal_noise / hi_noise.max(1e-9)
+        );
+    }
+    println!("\nheavier (prioritized) tasks are harder to preempt (CFS scales the wakeup");
+    println!("granularity by the current task's weight), so computing ranks keep their");
+    println!("CPUs when I/O completions wake other tasks onto them — the LAMMPS-style");
+    println!("displacement noise drops the most, as refs [23][24] report.");
+}

@@ -1,0 +1,13 @@
+//! Fig 3 — OS noise breakdown for the Sequoia benchmarks, by the five
+//! categories of §IV-A.
+
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Fig 3: OS noise breakdown (fraction of total noise) ==");
+    println!("{}", report.render_breakdown());
+    println!("paper: AMG/UMT fault-dominated (82.4%/86.7%), LAMMPS preemption-dominated (80.2%),");
+    println!("       IRS/SPHOT sizable preemption (27.1%/24.7%), periodic 5-10% for all but SPHOT");
+}

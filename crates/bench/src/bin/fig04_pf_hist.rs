@@ -1,0 +1,25 @@
+//! Fig 4 — Page fault time distributions: AMG (bimodal, ≈2.5 µs and
+//! ≈4.5 µs, long tail) vs LAMMPS (one-sided, ≈2.5 µs).
+
+use osn_bench::{load_or_run, render_histogram};
+use osn_core::analysis::stats::{class_samples, EventClass};
+use osn_core::analysis::Histogram;
+use osn_core::workloads::App;
+
+fn main() {
+    for app in [App::Amg, App::Lammps] {
+        let run = load_or_run(app);
+        let samples = class_samples(&run.analysis, &run.ranks, EventClass::PageFault);
+        let h = Histogram::build(&samples, 40, 99.0);
+        println!(
+            "== Fig 4{}: {} page fault time distribution ({} faults) ==",
+            if app == App::Amg { 'a' } else { 'b' },
+            app.name().to_uppercase(),
+            samples.len()
+        );
+        println!("{}", render_histogram(&h, 50));
+        let modes = h.modes(0.25);
+        println!("  modes at bins {:?} -> {}", modes, if modes.len() >= 2 { "bimodal" } else { "one-sided" });
+        println!();
+    }
+}

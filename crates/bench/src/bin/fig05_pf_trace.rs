@@ -1,0 +1,21 @@
+//! Fig 5 — Page fault placement traces: AMG faults spread through the
+//! whole execution (with accumulation points); LAMMPS faults mainly at
+//! the beginning and the end.
+
+use osn_bench::{load_or_run, render_deciles};
+use osn_core::analysis::stats::{class_samples_timed, EventClass};
+use osn_core::workloads::App;
+
+fn main() {
+    for app in [App::Amg, App::Lammps] {
+        let run = load_or_run(app);
+        let samples = class_samples_timed(&run.analysis, &run.ranks, EventClass::PageFault);
+        let span = (osn_core::kernel::time::Nanos::ZERO, run.result.end_time);
+        println!(
+            "== Fig 5{}: {} page-fault placement (faults per run decile) ==",
+            if app == App::Amg { 'a' } else { 'b' },
+            app.name().to_uppercase()
+        );
+        println!("{}", render_deciles(&samples, span));
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig 8 — run_timer_softirq time distributions for AMG and UMT:
+//! long-tail density functions.
+
+use osn_bench::{load_or_run, render_histogram};
+use osn_core::analysis::stats::{class_samples, EventClass};
+use osn_core::analysis::Histogram;
+use osn_core::workloads::App;
+
+fn main() {
+    for app in [App::Amg, App::Umt] {
+        let run = load_or_run(app);
+        let samples = class_samples(&run.analysis, &run.ranks, EventClass::RunTimerSoftirq);
+        let h = Histogram::build(&samples, 30, 99.0);
+        println!(
+            "== Fig 8{}: {} run_timer_softirq distribution ==",
+            if app == App::Amg { 'a' } else { 'b' },
+            app.name().to_uppercase()
+        );
+        println!("{}", render_histogram(&h, 50));
+        // Long tail check: mean well above the mode.
+        let mode_bin = h
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mode = h.centers()[mode_bin];
+        println!("  mode ~{} vs binned mean {} (long tail)", mode, h.binned_mean());
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! FWQ companion check: Fixed Work Quantum measures the same noise as
+//! FTQ, without FTQ's discretization overestimate.
+
+use osn_core::ftq::{fwq_series_from_trace, FwqParams, FwqWorkload};
+use osn_core::kernel::node::Node;
+use osn_core::kernel::prelude::*;
+use osn_core::trace::TraceSession;
+
+fn main() {
+    let params = FwqParams {
+        work: Nanos::from_millis(1),
+        samples: 3000,
+    };
+    let cfg = NodeConfig::default()
+        .with_cpus(1)
+        .with_seed(osn_bench::seed())
+        .with_horizon(Nanos::from_secs(5));
+    let mut node = Node::new(cfg);
+    node.spawn_process("fwq", Box::new(FwqWorkload::new(params)));
+    let (session, mut tracer) = TraceSession::with_defaults(1);
+    node.run(&mut tracer);
+    let trace = session.stop();
+    let series = fwq_series_from_trace(&trace, &params).expect("series");
+    let noise = series.noise();
+    let clean = noise.iter().filter(|n| n.is_zero()).count();
+    println!("FWQ: {} iterations of {} fixed work", series.walls.len(), params.work);
+    println!("  total noise: {}", series.total_noise());
+    println!("  clean iterations: {} ({:.1}%)", clean, 100.0 * clean as f64 / noise.len() as f64);
+    let spikes = series.spikes(Nanos::from_micros(1));
+    println!("  {} iterations with >1us noise; largest:", spikes.len());
+    let mut top = spikes.clone();
+    top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    for (i, n) in top.iter().take(5) {
+        println!("    iteration {i:>5}: {n}");
+    }
+}

@@ -1,0 +1,12 @@
+//! Table I — page fault freq/avg/max/min (paper: AMG 1693/s avg 4380ns max 69ms; LAMMPS 231/s; SPHOT 25/s; UMT 3554/s)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table I: {} ==", EventClass::PageFault.name());
+    println!("{}", report.render_table(EventClass::PageFault));
+    println!("note: page fault freq/avg/max/min (paper: AMG 1693/s avg 4380ns max 69ms; LAMMPS 231/s; SPHOT 25/s; UMT 3554/s)");
+}

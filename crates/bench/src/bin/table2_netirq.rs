@@ -1,0 +1,12 @@
+//! Table II — network interrupt handler (paper: AMG 116/s avg 1552ns, ~350us maxima on every app)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table II: {} ==", EventClass::NetworkInterrupt.name());
+    println!("{}", report.render_table(EventClass::NetworkInterrupt));
+    println!("note: network interrupt handler (paper: AMG 116/s avg 1552ns, ~350us maxima on every app)");
+}

@@ -1,0 +1,12 @@
+//! Table III — net_rx_action (paper: avg 2-5.5us, wide; synchronous receive copy)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table III: {} ==", EventClass::NetRxAction.name());
+    println!("{}", report.render_table(EventClass::NetRxAction));
+    println!("note: net_rx_action (paper: avg 2-5.5us, wide; synchronous receive copy)");
+}

@@ -1,0 +1,12 @@
+//! Table IV — net_tx_action (paper: avg ~0.5us, tight; returns after DMA start)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table IV: {} ==", EventClass::NetTxAction.name());
+    println!("{}", report.render_table(EventClass::NetTxAction));
+    println!("note: net_tx_action (paper: avg ~0.5us, tight; returns after DMA start)");
+}

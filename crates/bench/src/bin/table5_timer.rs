@@ -1,0 +1,12 @@
+//! Table V — timer interrupt (paper: 100 ev/s on every app; avg 1.5-6.5us)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table V: {} ==", EventClass::TimerInterrupt.name());
+    println!("{}", report.render_table(EventClass::TimerInterrupt));
+    println!("note: timer interrupt (paper: 100 ev/s on every app; avg 1.5-6.5us)");
+}

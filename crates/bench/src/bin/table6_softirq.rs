@@ -1,0 +1,12 @@
+//! Table VI — run_timer_softirq (paper: 100 ev/s; avg 0.6-3.9us, long tail)
+
+use osn_core::analysis::stats::EventClass;
+use osn_core::PaperReport;
+
+fn main() {
+    let runs = osn_bench::load_or_run_all();
+    let report = PaperReport::build(&runs);
+    println!("== Table VI: {} ==", EventClass::RunTimerSoftirq.name());
+    println!("{}", report.render_table(EventClass::RunTimerSoftirq));
+    println!("note: run_timer_softirq (paper: 100 ev/s; avg 0.6-3.9us, long tail)");
+}

@@ -1,0 +1,200 @@
+//! `osn-bench`: the experiment harness that regenerates every table and
+//! figure of the paper.
+//!
+//! Each `src/bin/figNN_*.rs` / `src/bin/tableN_*.rs` binary reruns (or
+//! loads from the shared on-disk cache) the needed traced runs and
+//! prints the same rows/series the paper reports. `cargo bench`
+//! additionally runs the Criterion micro-benchmarks in `benches/`.
+//!
+//! Environment knobs:
+//! * `OSN_SECS` — simulated seconds per application run (default 10).
+//! * `OSN_SEED` — campaign seed (default the paper-date seed).
+//! * `OSN_NO_CACHE=1` — ignore and overwrite the trace cache.
+
+use std::fs;
+use std::path::PathBuf;
+
+use osn_core::analysis::NoiseAnalysis;
+use osn_core::kernel::ids::Tid;
+use osn_core::kernel::node::RunResult;
+use osn_core::kernel::time::Nanos;
+use osn_core::trace::wire;
+use osn_core::workloads::App;
+use osn_core::{run_app, AppRun, ExperimentConfig};
+
+/// Simulated duration per app run, from `OSN_SECS`.
+pub fn duration() -> Nanos {
+    let secs: u64 = std::env::var("OSN_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    Nanos::from_secs(secs.max(1))
+}
+
+/// Campaign seed, from `OSN_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("OSN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x0511_2011)
+}
+
+fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/osn-cache");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Run (or load from cache) one traced application run. The cache
+/// stores the binary trace (exercising the wire format end-to-end)
+/// plus the run metadata as JSON; analysis is recomputed on load.
+pub fn load_or_run(app: App) -> AppRun {
+    let dur = duration();
+    let seed = seed();
+    let stem = format!(
+        "{}-{}s-{:x}",
+        app.name(),
+        dur.as_nanos() / 1_000_000_000,
+        seed
+    );
+    let trace_path = cache_dir().join(format!("{stem}.trace"));
+    let meta_path = cache_dir().join(format!("{stem}.json"));
+    let no_cache = std::env::var("OSN_NO_CACHE").is_ok();
+
+    let config = ExperimentConfig::paper(app, dur).with_seed(seed);
+    if !no_cache {
+        if let (Ok(raw), Ok(meta_raw)) = (fs::read(&trace_path), fs::read(&meta_path)) {
+            if let (Ok(trace), Ok(result)) = (
+                wire::decode(bytes::Bytes::from(raw)),
+                serde_json::from_slice::<RunResult>(&meta_raw),
+            ) {
+                let ranks: Vec<Tid> = result
+                    .tasks
+                    .iter()
+                    .filter(|t| t.kind == "app" && t.name.starts_with(app.name()))
+                    .map(|t| t.tid)
+                    .collect();
+                let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
+                return AppRun {
+                    app,
+                    config,
+                    trace,
+                    result,
+                    ranks,
+                    analysis,
+                };
+            }
+        }
+    }
+    let run = run_app(config);
+    let _ = fs::write(&trace_path, wire::encode(&run.trace));
+    let _ = fs::write(
+        &meta_path,
+        serde_json::to_vec(&run.result).expect("serializable"),
+    );
+    run
+}
+
+/// Load-or-run all five Sequoia apps (sequentially; the cache makes
+/// repeats instant).
+pub fn load_or_run_all() -> Vec<AppRun> {
+    App::ALL.iter().map(|a| load_or_run(*a)).collect()
+}
+
+/// Render a histogram as an ASCII bar chart (the harness's stand-in
+/// for the paper's Matlab figures).
+pub fn render_histogram(h: &osn_core::analysis::Histogram, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let peak = h.counts.iter().copied().max().unwrap_or(0).max(1);
+    for (center, count) in h.centers().iter().zip(&h.counts) {
+        let bar = (count * width as u64 / peak) as usize;
+        let _ = writeln!(
+            out,
+            "{:>10.2}us |{:<width$}| {}",
+            center.as_micros_f64(),
+            "#".repeat(bar),
+            count,
+            width = width
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  (cut at p99; {} samples above the cut, {:.2}% tail)",
+        h.overflow,
+        h.tail_fraction() * 100.0
+    );
+    out
+}
+
+/// Render a time series of (t, value) pairs as the list of its biggest
+/// spikes.
+pub fn render_spikes(series: &[(Nanos, Nanos)], top: usize) -> String {
+    use std::fmt::Write as _;
+    let mut sorted: Vec<&(Nanos, Nanos)> = series.iter().collect();
+    sorted.sort_by_key(|(_, v)| std::cmp::Reverse(*v));
+    let mut out = String::new();
+    for (t, v) in sorted.into_iter().take(top) {
+        let _ = writeln!(out, "  t={:>12} spike={}", t.to_string(), v);
+    }
+    out
+}
+
+/// Per-decile event counts over a run: a textual Fig 5 / Fig 7
+/// placement trace.
+pub fn render_deciles(samples: &[(Nanos, Nanos)], span: (Nanos, Nanos)) -> String {
+    use std::fmt::Write as _;
+    let (start, end) = span;
+    let total = (end - start).max(Nanos(1));
+    let mut counts = [0u64; 10];
+    for (t, _) in samples {
+        if *t < start || *t >= end {
+            continue;
+        }
+        let idx = (((*t - start).as_nanos() as u128 * 10) / total.as_nanos() as u128) as usize;
+        counts[idx.min(9)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (i, c) in counts.iter().enumerate() {
+        let bar = (c * 40 / peak) as usize;
+        let _ = writeln!(out, "  {:>3}0% |{:<40}| {}", i, "#".repeat(bar), c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_core::analysis::Histogram;
+
+    #[test]
+    fn duration_and_seed_have_defaults() {
+        assert!(duration() >= Nanos::from_secs(1));
+        let _ = seed();
+    }
+
+    #[test]
+    fn histogram_rendering() {
+        let h = Histogram::build(&[Nanos(1000), Nanos(1100), Nanos(5000)], 4, 100.0);
+        let text = render_histogram(&h, 20);
+        assert!(text.contains('#'));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn decile_rendering() {
+        let samples = vec![(Nanos(5), Nanos(1)), (Nanos(95), Nanos(1))];
+        let text = render_deciles(&samples, (Nanos(0), Nanos(100)));
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.contains("| 1"));
+    }
+
+    #[test]
+    fn spike_rendering() {
+        let series = vec![(Nanos(1), Nanos(10)), (Nanos(2), Nanos(99))];
+        let text = render_spikes(&series, 1);
+        assert!(text.contains("99"));
+        assert!(!text.contains("spike=10ns"));
+    }
+}

@@ -1,0 +1,392 @@
+//! `osnoise` — command-line front end for the OS-noise reproduction.
+//!
+//! ```text
+//! osnoise campaign [--secs N] [--seed S] [--json FILE]   full Sequoia campaign: Fig 3 + Tables I-VI
+//! osnoise app <amg|irs|lammps|sphot|umt> [--secs N]      one application, detailed report
+//! osnoise ftq [--samples N] [--seed S]                   FTQ vs LTTng-noise (Fig 1, §III-C)
+//! osnoise export <app> --out DIR [--secs N]              Paraver .prv/.pcf/.row + CSV exports
+//! osnoise disambiguate <app> [--tolerance NS]            §V-A confusable pairs (Fig 10)
+//! osnoise overhead [--secs N]                            §III-A instrumentation overhead
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use osn_core::analysis::chart::NoiseChart;
+use osn_core::analysis::stats::EventClass;
+use osn_core::campaign::{campaign_report, CampaignConfig};
+use osn_core::figures::{fig1_config, fig2_interruption, run_ftq};
+use osn_core::kernel::node::Node;
+use osn_core::kernel::time::Nanos;
+use osn_core::paraver;
+use osn_core::trace::overhead::{measure_overhead_avg, LTTNG_CLASS_OVERHEAD};
+use osn_core::workloads::App;
+use osn_core::{fig10_pairs, run_app, ExperimentConfig, PaperReport};
+
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter.next().unwrap_or_default();
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn secs(&self) -> Nanos {
+        Nanos::from_secs(
+            self.flags
+                .get("secs")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10u64)
+                .max(1),
+        )
+    }
+
+    fn seed(&self) -> u64 {
+        self.flags
+            .get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x0511_2011)
+    }
+}
+
+fn parse_app(name: &str) -> Option<App> {
+    App::ALL.into_iter().find(|a| a.name() == name)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let command = args.positional.first().map(String::as_str);
+    match command {
+        Some("campaign") => cmd_campaign(&args),
+        Some("app") => cmd_app(&args),
+        Some("ftq") => cmd_ftq(&args),
+        Some("export") => cmd_export(&args),
+        Some("disambiguate") => cmd_disambiguate(&args),
+        Some("overhead") => cmd_overhead(&args),
+        Some("scale") => cmd_scale(&args),
+        Some("signature") => cmd_signature(&args),
+        _ => {
+            eprintln!("{}", HELP);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "osnoise — quantitative per-event OS-noise analysis (IPDPS'11 reproduction)
+
+USAGE:
+  osnoise campaign [--secs N] [--seed S] [--json FILE]
+  osnoise app <amg|irs|lammps|sphot|umt> [--secs N] [--seed S]
+  osnoise ftq [--samples N] [--seed S]
+  osnoise export <app> --out DIR [--secs N]
+  osnoise disambiguate <app> [--tolerance NS] [--secs N]
+  osnoise overhead [--secs N]
+  osnoise scale <app> [--granularity-us G] [--secs N]
+  osnoise signature <app> [--against SEED] [--secs N]";
+
+fn cmd_campaign(args: &Args) -> ExitCode {
+    let mut config = CampaignConfig::paper(args.secs());
+    config.seed = args.seed();
+    let (_runs, report) = campaign_report(&config);
+    println!("== Fig 3: OS noise breakdown ==\n{}", report.render_breakdown());
+    for (label, class) in [
+        ("Table I: page faults", EventClass::PageFault),
+        ("Table II: network interrupts", EventClass::NetworkInterrupt),
+        ("Table III: net_rx_action", EventClass::NetRxAction),
+        ("Table IV: net_tx_action", EventClass::NetTxAction),
+        ("Table V: timer interrupts", EventClass::TimerInterrupt),
+        ("Table VI: run_timer_softirq", EventClass::RunTimerSoftirq),
+    ] {
+        println!("== {} ==\n{}", label, report.render_table(class));
+    }
+    if let Some(path) = args.flags.get("json") {
+        match serde_json::to_vec_pretty(&report) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(path, bytes) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("report written to {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_app(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let run = run_app(config);
+    let report = PaperReport::build(std::slice::from_ref(&run));
+    println!(
+        "{} — {} ranks, wall {}, {} trace events ({} lost)",
+        app.name().to_uppercase(),
+        run.ranks.len(),
+        run.wall(),
+        run.trace.len(),
+        run.trace.total_lost()
+    );
+    println!("\n== noise breakdown ==\n{}", report.render_breakdown());
+    println!("== per-event statistics (observed process) ==");
+    for class in EventClass::ALL {
+        let s = report.apps[0].stats(class);
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<24} {:>8.0}/s avg {:>10} max {:>12} min {:>8}",
+            class.name(),
+            s.freq_per_sec,
+            s.avg.to_string(),
+            s.max.to_string(),
+            s.min.to_string()
+        );
+    }
+    let observed = run.observed_rank();
+    if let Some(meta) = run.result.tasks.iter().find(|m| m.tid == observed) {
+        println!("\n== observed process detail ==");
+        print!("{}", osn_core::analysis::report::task_report(&run.analysis, meta));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_ftq(args: &Args) -> ExitCode {
+    let samples: u32 = args
+        .flags
+        .get("samples")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+    let (params, node) = fig1_config(samples);
+    let exp = run_ftq(params, node.with_seed(args.seed()));
+    let (ftq_total, traced_total) = exp.comparison.totals();
+    println!("FTQ: {} quanta of {}", exp.series.ops.len(), exp.series.quantum);
+    println!("  N_max = {} ops/quantum", exp.series.n_max());
+    println!("  FTQ noise estimate:  {ftq_total}");
+    println!("  traced noise:        {traced_total}");
+    println!("  correlation:         {:.4}", exp.comparison.correlation());
+    println!(
+        "  FTQ overestimates in {:.1}% of quanta",
+        exp.comparison.overestimate_fraction() * 100.0
+    );
+    if let Some(i) = fig2_interruption(&exp) {
+        println!("\nlargest composite interruption (Fig 2b):");
+        for (c, d) in &i.components {
+            println!("  {c:?} = {d}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = args.flags.get("out") else {
+        eprintln!("--out DIR is required");
+        return ExitCode::FAILURE;
+    };
+    let out = std::path::Path::new(out);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let run = run_app(config);
+
+    let prv = paraver::write_full_prv(
+        &run.trace,
+        &run.analysis.instances,
+        &run.result.tasks,
+        run.result.end_time,
+    );
+    let pcf = paraver::pcf::write_pcf();
+    let row = paraver::row::write_row(run.config.node.cpus as usize, &run.result.tasks);
+    let observed = run.observed_rank();
+    let chart = NoiseChart::build(&run.analysis, observed);
+    let chart_csv = paraver::matlab::chart_csv(&chart);
+    let fault_csv = paraver::matlab::samples_csv(&osn_core::analysis::stats::class_samples_timed(
+        &run.analysis,
+        &run.ranks,
+        EventClass::PageFault,
+    ));
+    let name = app.name();
+    for (file, contents) in [
+        (format!("{name}.prv"), prv),
+        (format!("{name}.pcf"), pcf),
+        (format!("{name}.row"), row),
+        (format!("{name}_chart.csv"), chart_csv),
+        (format!("{name}_faults.csv"), fault_csv),
+    ] {
+        let path = out.join(&file);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_disambiguate(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let tolerance = Nanos(
+        args.flags
+            .get("tolerance")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(60),
+    );
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let run = run_app(config);
+    let pairs = fig10_pairs(&run, tolerance, 12);
+    println!(
+        "confusable pairs in {} (|Δ| <= {tolerance}): {}",
+        app.name().to_uppercase(),
+        pairs.len()
+    );
+    for p in &pairs {
+        println!(
+            "  {} as {} vs {} as {}",
+            p.a_noise,
+            p.a_class.name(),
+            p.b_noise,
+            p.b_class.name()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_signature(args: &Args) -> ExitCode {
+    use osn_core::analysis::NoiseSignature;
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let run = run_app(config);
+    let signature = NoiseSignature::build(&run.analysis, &run.ranks);
+    println!(
+        "{} noise signature (total {}):",
+        app.name().to_uppercase(),
+        signature.total_noise
+    );
+    for e in &signature.entries {
+        if e.freq_per_sec == 0.0 {
+            continue;
+        }
+        println!(
+            "  {:<24} {:>9.1}/s  mean {:>9.0} ns  share {:>5.1}%",
+            e.class.name(),
+            e.freq_per_sec,
+            e.mean_ns,
+            e.share * 100.0
+        );
+    }
+    if let Some(other_seed) = args.flags.get("against").and_then(|s| s.parse::<u64>().ok()) {
+        let other = run_app(ExperimentConfig::paper(app, args.secs()).with_seed(other_seed));
+        let other_sig = NoiseSignature::build(&other.analysis, &other.ranks);
+        println!(
+            "
+composition distance to seed {}: {:.4}",
+            other_seed,
+            signature.distance(&other_sig)
+        );
+        let drifts = signature.drift(&other_sig, 0.5);
+        if drifts.is_empty() {
+            println!("no event class drifted by more than 50%");
+        }
+        for d in drifts {
+            println!(
+                "  drift: {:<24} freq x{:.2} mean x{:.2}",
+                d.class.name(),
+                d.freq_ratio,
+                d.mean_ratio
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_scale(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let granularity = Nanos::from_micros(
+        args.flags
+            .get("granularity-us")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1_000),
+    );
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let run = run_app(config);
+    let model = osn_core::ScaleModel::from_run(&run, granularity);
+    println!(
+        "{}: mean noise per {} window = {}",
+        app.name().to_uppercase(),
+        granularity,
+        model.mean_window_noise()
+    );
+    println!("predicted BSP iteration slowdown (barrier per window):");
+    for p in model.curve(&[1, 8, 64, 512, 4096, 32768, 262144], 2_000, args.seed()) {
+        println!(
+            "  {:>7} nodes: {:>8.4}x slowdown, {:>6.2}% efficiency (E[max noise] {})",
+            p.nodes,
+            p.slowdown,
+            p.efficiency * 100.0,
+            p.expected_max_noise
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_overhead(args: &Args) -> ExitCode {
+    let dur = args.secs().min(Nanos::from_secs(5));
+    let mut total = 0.0;
+    for app in App::ALL {
+        let config = ExperimentConfig::paper(app, dur).with_seed(args.seed());
+        let nranks = config.nranks;
+        let seeds: Vec<u64> = (0..6).map(|i| args.seed() + i * 7919).collect();
+        let report = measure_overhead_avg(&config.node, LTTNG_CLASS_OVERHEAD, &seeds, |node_cfg| {
+            let mut node = Node::new(node_cfg);
+            node.spawn_job(app.name(), osn_core::workloads::ranks(app, nranks, dur));
+            for (i, h) in osn_core::workloads::helpers(app, dur).into_iter().enumerate() {
+                node.spawn_process(&format!("python.{i}"), h);
+            }
+            node
+        });
+        println!(
+            "{:<8} base {} traced {} overhead {:+.4}%",
+            app.name().to_uppercase(),
+            report.base,
+            report.traced,
+            report.percent()
+        );
+        total += report.percent();
+    }
+    println!("average: {:.4}% (paper: ~0.28%)", total / App::ALL.len() as f64);
+    ExitCode::SUCCESS
+}

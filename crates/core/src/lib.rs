@@ -1,0 +1,33 @@
+//! `osn-core`: the high-level experiment API tying the whole
+//! reproduction together — run a traced application, run the full
+//! Sequoia campaign, and assemble every table and figure of
+//! *"A Quantitative Analysis of OS Noise"* (IPDPS 2011).
+//!
+//! ```no_run
+//! use osn_core::campaign::{campaign_report, CampaignConfig};
+//! use osn_kernel::time::Nanos;
+//!
+//! let config = CampaignConfig::paper(Nanos::from_secs(10));
+//! let (_runs, report) = campaign_report(&config);
+//! println!("{}", report.render_breakdown());
+//! ```
+
+pub mod campaign;
+pub mod experiment;
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use campaign::{campaign_report, run_campaign, CampaignConfig};
+pub use experiment::{run_app, AppRun, ExperimentConfig};
+pub use figures::{fig10_pairs, fig1_config, fig2_interruption, fig9_composites, run_ftq, FtqExperiment};
+pub use report::{AppReport, PaperReport};
+pub use scale::{ScaleModel, ScalePoint};
+
+// Re-export the building blocks so downstream users need one import.
+pub use osn_analysis as analysis;
+pub use osn_ftq as ftq;
+pub use osn_kernel as kernel;
+pub use osn_paraver as paraver;
+pub use osn_trace as trace;
+pub use osn_workloads as workloads;

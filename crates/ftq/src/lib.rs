@@ -1,0 +1,20 @@
+//! `osn-ftq`: the Fixed Time Quantum microbenchmark (Sottile & Minnich)
+//! — the indirect noise-measurement baseline the paper validates
+//! LTT NG-NOISE against (§III-C, Figs 1 and 9).
+//!
+//! Four pieces:
+//! * [`sim`] — FTQ as a simulated workload whose per-quantum samples are
+//!   recovered from the trace's user-space marks;
+//! * [`fwq`] — the Fixed Work Quantum companion benchmark;
+//! * [`native`] — the real benchmark running on the host;
+//! * [`series`] — the `N_max − N_i` noise estimate and the §III-C
+//!   FTQ-vs-tracer comparison.
+
+pub mod fwq;
+pub mod native;
+pub mod series;
+pub mod sim;
+
+pub use fwq::{fwq_series_from_trace, FwqParams, FwqSeries, FwqWorkload, FWQ_MARK};
+pub use series::{FtqComparison, FtqSeries};
+pub use sim::{series_from_trace, FtqParams, FtqWorkload, FTQ_MARK};

@@ -1,0 +1,116 @@
+//! Native FTQ: the real Fixed Time Quantum microbenchmark running on
+//! the host machine (Sottile & Minnich, CLUSTER'04).
+//!
+//! This demonstrates the indirect measurement technique on real
+//! hardware: within each wall-clock quantum, count how many basic
+//! operations complete; missing operations relative to the best
+//! quantum estimate the noise the host OS injected.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use osn_kernel::time::Nanos;
+
+use crate::series::FtqSeries;
+
+/// One basic operation: a short dependent arithmetic chain the
+/// compiler cannot elide or vectorize away.
+#[inline(never)]
+pub fn basic_op(seed: u64) -> u64 {
+    let mut x = black_box(seed) | 1;
+    // 32 dependent steps; on a ~GHz-class core this is tens of ns.
+    for _ in 0..32 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x ^= x >> 29;
+    }
+    black_box(x)
+}
+
+/// Calibrate the basic-op cost on this host (median of several runs).
+pub fn calibrate_op_cost() -> Nanos {
+    let mut samples = Vec::with_capacity(9);
+    for round in 0..9u64 {
+        let iters = 20_000u64;
+        let start = Instant::now();
+        let mut acc = round;
+        for i in 0..iters {
+            acc = basic_op(acc ^ i);
+        }
+        black_box(acc);
+        let per_op = start.elapsed().as_nanos() as u64 / iters;
+        samples.push(per_op.max(1));
+    }
+    samples.sort_unstable();
+    Nanos(samples[samples.len() / 2])
+}
+
+/// Run native FTQ: `samples` quanta of length `quantum`.
+///
+/// Returns the measured series; `op_cost` in the result is the
+/// calibrated per-op cost used to convert missing work to time.
+pub fn run_native(quantum: Nanos, samples: usize) -> FtqSeries {
+    let op_cost = calibrate_op_cost();
+    let start = Instant::now();
+    let q = quantum.as_nanos() as u128;
+    let mut ops = Vec::with_capacity(samples);
+    let mut acc = 0u64;
+    for i in 0..samples {
+        let deadline = (i as u128 + 1) * q;
+        let mut n = 0u64;
+        while start.elapsed().as_nanos() < deadline {
+            acc = basic_op(acc.wrapping_add(n));
+            n += 1;
+        }
+        ops.push(n);
+    }
+    black_box(acc);
+    FtqSeries {
+        origin: Nanos::ZERO,
+        quantum,
+        op_cost,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_op_is_deterministic_and_nontrivial() {
+        assert_eq!(basic_op(42), basic_op(42));
+        assert_ne!(basic_op(42), basic_op(44));
+    }
+
+    #[test]
+    fn calibration_returns_plausible_cost() {
+        let cost = calibrate_op_cost();
+        // A 32-step dependent chain: somewhere between 1 ns and 10 µs
+        // on anything that can run this test suite.
+        assert!(cost >= Nanos(1) && cost <= Nanos(10_000), "cost {cost}");
+    }
+
+    #[test]
+    fn native_run_counts_work() {
+        // Short run to keep the suite fast: 20 quanta of 500 µs.
+        let series = run_native(Nanos::from_micros(500), 20);
+        assert_eq!(series.ops.len(), 20);
+        assert!(series.n_max() > 0);
+        // Most quanta did *some* work (a loaded host may steal whole
+        // quanta occasionally — that IS the noise being measured).
+        let busy = series.ops.iter().filter(|&&n| n > 0).count();
+        assert!(busy >= 10, "only {busy}/20 quanta made progress");
+        // The noise estimate is non-negative by construction and small
+        // relative to the quantum for the median quantum.
+        let noise = series.noise_estimate();
+        let median = {
+            let mut v = noise.clone();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(
+            median <= series.quantum,
+            "median noise {median} exceeds a whole quantum"
+        );
+    }
+}

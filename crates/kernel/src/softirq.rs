@@ -1,0 +1,166 @@
+//! Per-CPU softirq pending state.
+//!
+//! Softirqs are raised from interrupt context and run when the last
+//! hard-irq frame unwinds (`do_softirq` at `irq_exit`). Tasklets
+//! (`net_rx_action`, `net_tx_action`) ride on their softirq vectors and
+//! serialize per type, which this per-CPU queue-of-work model preserves.
+
+use std::collections::VecDeque;
+
+use crate::activity::SoftirqVec;
+use crate::net::RpcId;
+
+/// Pending softirq work on one CPU.
+#[derive(Debug, Default)]
+pub struct SoftirqPending {
+    mask: u8,
+    /// Expired software-timer handlers to run in the next
+    /// `run_timer_softirq` (cost scales with this).
+    pub expired_timers: u32,
+    /// Received packets (RPC responses) for `net_rx_action`.
+    pub rx_queue: VecDeque<RpcId>,
+    /// Packets queued for transmission completion processing.
+    pub tx_packets: u32,
+    /// Runnable-task count snapshot for the next rebalance pass
+    /// (scan length → cost).
+    pub rebalance_scan: u32,
+}
+
+impl SoftirqPending {
+    pub fn new() -> Self {
+        SoftirqPending::default()
+    }
+
+    /// Raise a vector. Returns `true` if it was newly raised (for the
+    /// `softirq_raise` tracepoint; Linux traces every raise, we dedup
+    /// only for frame bookkeeping).
+    pub fn raise(&mut self, vec: SoftirqVec) -> bool {
+        let was = self.mask & vec.bit() != 0;
+        self.mask |= vec.bit();
+        !was
+    }
+
+    #[inline]
+    pub fn is_pending(&self, vec: SoftirqVec) -> bool {
+        self.mask & vec.bit() != 0
+    }
+
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.mask != 0
+    }
+
+    /// Take the next pending vector in priority order, clearing its bit.
+    pub fn take_next(&mut self) -> Option<SoftirqVec> {
+        for vec in SoftirqVec::ALL {
+            if self.mask & vec.bit() != 0 {
+                self.mask &= !vec.bit();
+                return Some(vec);
+            }
+        }
+        None
+    }
+
+    /// Drain the payload that belongs to a vector when its handler
+    /// runs; returns a work magnitude the cost model scales with.
+    pub fn take_payload(&mut self, vec: SoftirqVec) -> SoftirqWork {
+        match vec {
+            SoftirqVec::Timer => {
+                let n = self.expired_timers;
+                self.expired_timers = 0;
+                SoftirqWork::Timers(n)
+            }
+            SoftirqVec::NetRx => {
+                let rpcs: Vec<RpcId> = self.rx_queue.drain(..).collect();
+                SoftirqWork::Rx(rpcs)
+            }
+            SoftirqVec::NetTx => {
+                let n = self.tx_packets;
+                self.tx_packets = 0;
+                SoftirqWork::Tx(n)
+            }
+            SoftirqVec::Rcu => SoftirqWork::None,
+            SoftirqVec::Rebalance => {
+                let n = self.rebalance_scan;
+                self.rebalance_scan = 0;
+                SoftirqWork::Rebalance(n)
+            }
+        }
+    }
+}
+
+/// Work items attached to a softirq execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoftirqWork {
+    None,
+    /// Number of expired timer handlers.
+    Timers(u32),
+    /// RPC responses to deliver (each wakes its issuer).
+    Rx(Vec<RpcId>),
+    /// Transmit completions.
+    Tx(u32),
+    /// Tasks scanned during rebalance.
+    Rebalance(u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_take_in_priority_order() {
+        let mut p = SoftirqPending::new();
+        assert!(p.raise(SoftirqVec::Rebalance));
+        assert!(p.raise(SoftirqVec::Timer));
+        assert!(!p.raise(SoftirqVec::Timer), "already raised");
+        assert!(p.any());
+        assert_eq!(p.take_next(), Some(SoftirqVec::Timer));
+        assert_eq!(p.take_next(), Some(SoftirqVec::Rebalance));
+        assert_eq!(p.take_next(), None);
+        assert!(!p.any());
+    }
+
+    #[test]
+    fn priority_order_matches_all() {
+        let mut p = SoftirqPending::new();
+        for v in SoftirqVec::ALL.iter().rev() {
+            p.raise(*v);
+        }
+        let order: Vec<SoftirqVec> = std::iter::from_fn(|| p.take_next()).collect();
+        assert_eq!(order, SoftirqVec::ALL.to_vec());
+    }
+
+    #[test]
+    fn payloads_drain() {
+        let mut p = SoftirqPending::new();
+        p.expired_timers = 3;
+        p.rx_queue.push_back(RpcId(7));
+        p.rx_queue.push_back(RpcId(8));
+        p.tx_packets = 2;
+        p.rebalance_scan = 5;
+
+        assert_eq!(p.take_payload(SoftirqVec::Timer), SoftirqWork::Timers(3));
+        assert_eq!(p.take_payload(SoftirqVec::Timer), SoftirqWork::Timers(0));
+        assert_eq!(
+            p.take_payload(SoftirqVec::NetRx),
+            SoftirqWork::Rx(vec![RpcId(7), RpcId(8)])
+        );
+        assert_eq!(p.take_payload(SoftirqVec::NetRx), SoftirqWork::Rx(vec![]));
+        assert_eq!(p.take_payload(SoftirqVec::NetTx), SoftirqWork::Tx(2));
+        assert_eq!(p.take_payload(SoftirqVec::Rcu), SoftirqWork::None);
+        assert_eq!(
+            p.take_payload(SoftirqVec::Rebalance),
+            SoftirqWork::Rebalance(5)
+        );
+    }
+
+    #[test]
+    fn is_pending_reflects_mask() {
+        let mut p = SoftirqPending::new();
+        assert!(!p.is_pending(SoftirqVec::NetRx));
+        p.raise(SoftirqVec::NetRx);
+        assert!(p.is_pending(SoftirqVec::NetRx));
+        p.take_next();
+        assert!(!p.is_pending(SoftirqVec::NetRx));
+    }
+}

@@ -1,0 +1,245 @@
+//! The workload interface: how application behaviour drives the kernel.
+//!
+//! A [`Workload`] is a deterministic program that yields [`Action`]s one
+//! at a time; the engine executes each action, generating page faults,
+//! syscalls, I/O and synchronization mechanistically. Workloads model
+//! the *stimulus profile* of an application (its memory, I/O and phase
+//! behaviour) — see `osn-workloads` for the Sequoia models and
+//! `osn-ftq` for FTQ.
+
+use crate::ids::RegionId;
+use crate::mm::{AddressSpace, Backing};
+use crate::rng::Stream;
+use crate::time::Nanos;
+
+/// One step of application behaviour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Execute `work` nanoseconds of pure user-mode computation.
+    Compute { work: Nanos },
+    /// Compute until the wall clock reaches `wall` (FTQ's loop shape).
+    /// The outcome reports how much user work was actually achieved.
+    ComputeUntil { wall: Nanos },
+    /// Walk pages `[first_page, first_page + pages)` of `region`,
+    /// spending `work_per_page` of user compute in each; first touches
+    /// of absent pages raise demand-paging faults.
+    Touch {
+        region: RegionId,
+        first_page: u64,
+        pages: u64,
+        work_per_page: Nanos,
+    },
+    /// `mmap` a region of `pages` pages with the given backing.
+    /// Outcome: [`Outcome::Mapped`].
+    Mmap { backing: Backing, pages: u64 },
+    /// Unmap a region (its pages fault again if remapped/touched).
+    Munmap { region: RegionId },
+    /// Blocking NFS read of `bytes` (input decks, restart files).
+    Read { bytes: u64 },
+    /// NFS write of `bytes` (checkpoints, output). Write-through:
+    /// blocks until the server acknowledges.
+    Write { bytes: u64 },
+    /// Buffered NFS write: the syscall copies into the page cache and
+    /// returns; writeback happens asynchronously via `rpciod`, whose
+    /// activity still perturbs the node (I/O noise without blocking).
+    WriteBuffered { bytes: u64 },
+    /// Voluntary sleep via `nanosleep` (wakes via a high-res timer).
+    Sleep { dur: Nanos },
+    /// `clock_gettime` syscall (FTQ reads the clock at every quantum
+    /// boundary; on the paper's 2.6.33 testbed this enters the kernel).
+    Gettime,
+    /// MPI-like job barrier over the kernel-bypass interconnect: the
+    /// task blocks (no kernel involvement) until all ranks arrive.
+    Barrier,
+    /// Emit a user-space tracepoint ([`crate::hooks::Probe::app_mark`]).
+    Mark { mark: u32, value: u64 },
+    /// Terminate the task.
+    Exit,
+}
+
+/// Result of the previously executed action, passed to
+/// [`Workload::next`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// First call: no previous action.
+    Start,
+    /// Generic completion.
+    Done,
+    /// `Mmap` completed with this region.
+    Mapped(RegionId),
+    /// `ComputeUntil` finished; `user` is the user-mode work achieved
+    /// (wall time minus everything the OS stole — FTQ's measurement).
+    Computed { user: Nanos },
+    /// A `Read`/`Write` completed.
+    IoDone { bytes: u64 },
+}
+
+/// Context handed to a workload when it must choose its next action.
+pub struct WorkloadCtx<'a> {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// This task's rank within its job, and the job width.
+    pub rank: u32,
+    pub nranks: u32,
+    /// Outcome of the action that just completed.
+    pub outcome: Outcome,
+    /// This task's private deterministic random stream.
+    pub rng: &'a mut Stream,
+    /// Read-only view of the task's address space.
+    pub aspace: &'a AddressSpace,
+}
+
+/// A program driving one simulated task.
+///
+/// Implementations must be deterministic given the `rng` stream in the
+/// context (the engine owns seeding), so campaigns replay exactly.
+pub trait Workload: Send {
+    /// Short name for traces and reports (e.g. `"amg"`, `"ftq"`).
+    fn name(&self) -> &'static str;
+
+    /// Produce the next action. Called once at start (with
+    /// [`Outcome::Start`]) and after each action completes.
+    fn next(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action;
+
+    /// Dimensionless cache-pressure factor: how much this task inflates
+    /// interrupt-context kernel costs while it runs (1.0 = none). See
+    /// [`crate::cost`] module docs.
+    fn cache_factor(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A trivial workload: compute for a fixed time, then exit. Useful in
+/// tests and as the idle-system baseline.
+#[derive(Debug, Clone)]
+pub struct BusyLoop {
+    pub total: Nanos,
+    started: bool,
+}
+
+impl BusyLoop {
+    pub fn new(total: Nanos) -> Self {
+        BusyLoop {
+            total,
+            started: false,
+        }
+    }
+}
+
+impl Workload for BusyLoop {
+    fn name(&self) -> &'static str {
+        "busy_loop"
+    }
+
+    fn next(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
+        if self.started {
+            Action::Exit
+        } else {
+            self.started = true;
+            Action::Compute { work: self.total }
+        }
+    }
+}
+
+/// A scripted workload replaying a fixed list of actions; the workhorse
+/// of unit tests.
+#[derive(Debug, Clone)]
+pub struct Script {
+    name: &'static str,
+    actions: Vec<Action>,
+    next: usize,
+    cache_factor: f64,
+}
+
+impl Script {
+    pub fn new(name: &'static str, actions: Vec<Action>) -> Self {
+        Script {
+            name,
+            actions,
+            next: 0,
+            cache_factor: 1.0,
+        }
+    }
+
+    pub fn with_cache_factor(mut self, f: f64) -> Self {
+        self.cache_factor = f;
+        self
+    }
+}
+
+impl Workload for Script {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
+        let action = self
+            .actions
+            .get(self.next)
+            .copied()
+            .unwrap_or(Action::Exit);
+        self.next += 1;
+        action
+    }
+
+    fn cache_factor(&self) -> f64 {
+        self.cache_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(rng: &'a mut Stream, aspace: &'a AddressSpace) -> WorkloadCtx<'a> {
+        WorkloadCtx {
+            now: Nanos(0),
+            rank: 0,
+            nranks: 1,
+            outcome: Outcome::Start,
+            rng,
+            aspace,
+        }
+    }
+
+    #[test]
+    fn busy_loop_computes_then_exits() {
+        let mut w = BusyLoop::new(Nanos::MILLI);
+        let mut rng = Stream::new(0, "t");
+        let aspace = AddressSpace::new();
+        let mut ctx = ctx_with(&mut rng, &aspace);
+        assert_eq!(
+            w.next(&mut ctx),
+            Action::Compute {
+                work: Nanos::MILLI
+            }
+        );
+        assert_eq!(w.next(&mut ctx), Action::Exit);
+        assert_eq!(w.next(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn script_replays_then_exits() {
+        let mut w = Script::new(
+            "s",
+            vec![
+                Action::Compute { work: Nanos(10) },
+                Action::Barrier,
+            ],
+        );
+        let mut rng = Stream::new(0, "t");
+        let aspace = AddressSpace::new();
+        let mut ctx = ctx_with(&mut rng, &aspace);
+        assert_eq!(w.next(&mut ctx), Action::Compute { work: Nanos(10) });
+        assert_eq!(w.next(&mut ctx), Action::Barrier);
+        assert_eq!(w.next(&mut ctx), Action::Exit);
+    }
+
+    #[test]
+    fn default_cache_factor_is_neutral() {
+        let w = BusyLoop::new(Nanos(1));
+        assert_eq!(w.cache_factor(), 1.0);
+        let s = Script::new("s", vec![]).with_cache_factor(2.5);
+        assert_eq!(s.cache_factor(), 2.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Property tests for the simulation engine: arbitrary workload
+//! programs must never violate the instrumentation and accounting
+//! invariants.
+
+use proptest::prelude::*;
+
+use osn_kernel::activity::Activity;
+use osn_kernel::hooks::{Probe, SwitchState};
+use osn_kernel::ids::{CpuId, RegionId, Tid};
+use osn_kernel::mm::Backing;
+use osn_kernel::prelude::*;
+use osn_kernel::workload::Action;
+
+/// An invariant-checking probe: balanced nesting, monotonic per-CPU
+/// time, idle never in kernel user context confusion.
+#[derive(Default)]
+struct InvariantProbe {
+    depth: Vec<i64>,
+    last_t: Vec<u64>,
+    enters: u64,
+    exits: u64,
+    violations: Vec<String>,
+}
+
+impl InvariantProbe {
+    fn new(cpus: usize) -> Self {
+        InvariantProbe {
+            depth: vec![0; cpus],
+            last_t: vec![0; cpus],
+            ..Default::default()
+        }
+    }
+
+    fn tick(&mut self, t: Nanos, cpu: CpuId) {
+        let c = cpu.index();
+        if t.as_nanos() < self.last_t[c] {
+            self.violations
+                .push(format!("cpu{c} time regressed to {t}"));
+        }
+        self.last_t[c] = t.as_nanos();
+    }
+}
+
+impl Probe for InvariantProbe {
+    fn kernel_enter(&mut self, t: Nanos, cpu: CpuId, _tid: Tid, _a: Activity) {
+        self.tick(t, cpu);
+        self.enters += 1;
+        self.depth[cpu.index()] += 1;
+        if self.depth[cpu.index()] > 8 {
+            self.violations.push(format!("depth > 8 on {cpu}"));
+        }
+    }
+    fn kernel_exit(&mut self, t: Nanos, cpu: CpuId, _tid: Tid, _a: Activity) {
+        self.tick(t, cpu);
+        self.exits += 1;
+        self.depth[cpu.index()] -= 1;
+        if self.depth[cpu.index()] < 0 {
+            self.violations.push(format!("negative depth on {cpu}"));
+        }
+    }
+    fn sched_switch(&mut self, t: Nanos, cpu: CpuId, prev: Tid, _s: SwitchState, next: Tid) {
+        self.tick(t, cpu);
+        if prev == next && !prev.is_idle() {
+            self.violations.push(format!("self-switch of {prev}"));
+        }
+    }
+    fn wakeup(&mut self, t: Nanos, cpu: CpuId, _tid: Tid, _w: Tid) {
+        self.tick(t, cpu);
+    }
+}
+
+/// Generate a random (but well-formed) action program: the region ids
+/// reference previously mapped regions by construction.
+#[derive(Debug, Clone)]
+enum Step {
+    Compute(u64),
+    MapTouchFree { pages: u64, fresh: bool },
+    Read(u64),
+    WriteBuffered(u64),
+    Sleep(u64),
+    Barrier,
+    Mark,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        3 => (1_000u64..2_000_000).prop_map(Step::Compute),
+        2 => (1u64..200, any::<bool>()).prop_map(|(pages, fresh)| Step::MapTouchFree { pages, fresh }),
+        1 => (64u64..262_144).prop_map(Step::Read),
+        1 => (64u64..65_536).prop_map(Step::WriteBuffered),
+        1 => (10_000u64..3_000_000).prop_map(Step::Sleep),
+        1 => Just(Step::Barrier),
+        1 => Just(Step::Mark),
+    ]
+}
+
+/// A workload that interprets a step program.
+struct ProgramWorkload {
+    steps: Vec<Step>,
+    pos: usize,
+    /// Sub-state for MapTouchFree (0 = map, 1 = touch, 2 = free).
+    sub: u8,
+    region: Option<RegionId>,
+}
+
+impl osn_kernel::workload::Workload for ProgramWorkload {
+    fn name(&self) -> &'static str {
+        "program"
+    }
+
+    fn next(&mut self, ctx: &mut osn_kernel::workload::WorkloadCtx<'_>) -> Action {
+        {
+            let Some(step) = self.steps.get(self.pos) else {
+                return Action::Exit;
+            };
+            match step {
+                Step::Compute(ns) => {
+                    self.pos += 1;
+                    Action::Compute { work: Nanos(*ns) }
+                }
+                Step::MapTouchFree { pages, fresh } => match self.sub {
+                    0 => {
+                        self.sub = 1;
+                        Action::Mmap {
+                            backing: if *fresh {
+                                Backing::AnonFresh
+                            } else {
+                                Backing::AnonRecycled
+                            },
+                            pages: *pages,
+                        }
+                    }
+                    1 => {
+                        self.sub = 2;
+                        let region = match ctx.outcome {
+                            osn_kernel::workload::Outcome::Mapped(r) => r,
+                            _ => unreachable!("mmap returns Mapped"),
+                        };
+                        self.region = Some(region);
+                        Action::Touch {
+                            region,
+                            first_page: 0,
+                            pages: *pages,
+                            work_per_page: Nanos(300),
+                        }
+                    }
+                    _ => {
+                        self.sub = 0;
+                        self.pos += 1;
+                        let region = self.region.take().expect("mapped");
+                        Action::Munmap { region }
+                    }
+                },
+                Step::Read(bytes) => {
+                    self.pos += 1;
+                    Action::Read { bytes: *bytes }
+                }
+                Step::WriteBuffered(bytes) => {
+                    self.pos += 1;
+                    Action::WriteBuffered { bytes: *bytes }
+                }
+                Step::Sleep(ns) => {
+                    self.pos += 1;
+                    Action::Sleep { dur: Nanos(*ns) }
+                }
+                Step::Barrier => {
+                    self.pos += 1;
+                    Action::Barrier
+                }
+                Step::Mark => {
+                    self.pos += 1;
+                    Action::Mark {
+                        mark: 9,
+                        value: self.pos as u64,
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the program, the engine upholds: balanced enter/exit,
+    /// monotonic per-CPU timestamps, bounded depth, fault counts equal
+    /// to unique pages touched, and deterministic replay.
+    #[test]
+    fn engine_invariants_hold_for_arbitrary_programs(
+        programs in prop::collection::vec(
+            prop::collection::vec(step_strategy(), 0..25),
+            1..4,
+        ),
+        cpus in 1u16..4,
+        seed in 0u64..1000,
+    ) {
+        let run = |seed: u64| {
+            let cfg = NodeConfig::default()
+                .with_cpus(cpus)
+                .with_seed(seed)
+                .with_horizon(Nanos::from_millis(400));
+            let mut node = Node::new(cfg);
+            node.spawn_job(
+                "prog",
+                programs
+                    .iter()
+                    .map(|steps| {
+                        Box::new(ProgramWorkload {
+                            steps: steps.clone(),
+                            pos: 0,
+                            sub: 0,
+                            region: None,
+                        }) as Box<dyn Workload>
+                    })
+                    .collect(),
+            );
+            let mut probe = InvariantProbe::new(cpus as usize);
+            let result = node.run(&mut probe);
+            (probe, result)
+        };
+
+        let (probe, result) = run(seed);
+        prop_assert!(probe.violations.is_empty(), "{:?}", probe.violations);
+        prop_assert_eq!(probe.enters, probe.exits, "unbalanced kernel frames");
+
+        // Fault count == unique pages touched across all programs.
+        let expected_faults: u64 = programs
+            .iter()
+            .map(|steps| {
+                steps
+                    .iter()
+                    .map(|s| match s {
+                        Step::MapTouchFree { pages, .. } => *pages,
+                        _ => 0,
+                    })
+                    .sum::<u64>()
+            })
+            .sum();
+        // The run may hit the horizon before finishing; faults never
+        // exceed the program's unique pages (FTQ-style buffers aside).
+        prop_assert!(
+            result.stats.faults <= expected_faults,
+            "faults {} > touched pages {}",
+            result.stats.faults,
+            expected_faults
+        );
+
+        // Determinism: same seed, same outcome.
+        let (_, result2) = run(seed);
+        prop_assert_eq!(result.end_time, result2.end_time);
+        prop_assert_eq!(result.stats.faults, result2.stats.faults);
+        prop_assert_eq!(result.stats.switches, result2.stats.switches);
+    }
+}

@@ -1,0 +1,124 @@
+//! The "Matlab module": CSV exports of the analysis products, the
+//! machine-readable companion to the Paraver trace ("the module
+//! generates a data format that can be used as input to Matlab. We use
+//! this to derive the synthetic OS noise chart and the other graphs").
+
+use std::fmt::Write as _;
+
+use osn_analysis::chart::NoiseChart;
+use osn_analysis::histogram::Histogram;
+use osn_analysis::noise::Component;
+use osn_kernel::time::Nanos;
+
+/// Synthetic OS noise chart as CSV:
+/// `t_ns,total_noise_ns,duration_ns,top_component,top_ns`.
+pub fn chart_csv(chart: &NoiseChart) -> String {
+    let mut out = String::from("t_ns,noise_ns,duration_ns,top_component,top_ns\n");
+    for p in &chart.points {
+        let (name, top) = p
+            .components
+            .first()
+            .map(|(c, d)| (component_name(c), d.as_nanos()))
+            .unwrap_or(("none".into(), 0));
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            p.t.as_nanos(),
+            p.noise.as_nanos(),
+            p.duration.as_nanos(),
+            name,
+            top
+        );
+    }
+    out
+}
+
+/// Histogram as CSV: `bin_center_ns,count`.
+pub fn histogram_csv(h: &Histogram) -> String {
+    let mut out = String::from("bin_center_ns,count\n");
+    for (c, k) in h.centers().iter().zip(&h.counts) {
+        let _ = writeln!(out, "{},{}", c.as_nanos(), k);
+    }
+    out
+}
+
+/// Timestamped samples (Fig 5 / Fig 7 placement traces) as CSV.
+pub fn samples_csv(samples: &[(Nanos, Nanos)]) -> String {
+    let mut out = String::from("t_ns,duration_ns\n");
+    for (t, d) in samples {
+        let _ = writeln!(out, "{},{}", t.as_nanos(), d.as_nanos());
+    }
+    out
+}
+
+fn component_name(c: &Component) -> String {
+    match c {
+        Component::Activity(a) => a.to_string(),
+        Component::Preemption { by } => format!("preemption[{by}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_analysis::chart::ChartPoint;
+    use osn_kernel::activity::Activity;
+    use osn_kernel::ids::Tid;
+
+    #[test]
+    fn chart_csv_has_rows() {
+        let chart = NoiseChart {
+            task: Tid(1),
+            points: vec![ChartPoint {
+                t: Nanos(100),
+                noise: Nanos(50),
+                duration: Nanos(60),
+                components: vec![(
+                    Component::Activity(Activity::TimerInterrupt),
+                    Nanos(50),
+                )],
+            }],
+        };
+        let csv = chart_csv(&chart);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "100,50,60,timer_interrupt,50");
+    }
+
+    #[test]
+    fn empty_component_point() {
+        let chart = NoiseChart {
+            task: Tid(1),
+            points: vec![ChartPoint {
+                t: Nanos(5),
+                noise: Nanos(0),
+                duration: Nanos(0),
+                components: vec![],
+            }],
+        };
+        let csv = chart_csv(&chart);
+        assert!(csv.lines().nth(1).unwrap().contains("none"));
+    }
+
+    #[test]
+    fn histogram_csv_row_per_bin() {
+        let h = Histogram::build(&[Nanos(10), Nanos(20), Nanos(30)], 3, 100.0);
+        let csv = histogram_csv(&h);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("bin_center_ns,count\n"));
+    }
+
+    #[test]
+    fn samples_csv_format() {
+        let csv = samples_csv(&[(Nanos(1), Nanos(2)), (Nanos(3), Nanos(4))]);
+        assert_eq!(csv, "t_ns,duration_ns\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn preemption_component_names_task() {
+        assert_eq!(
+            component_name(&Component::Preemption { by: Tid(7) }),
+            "preemption[tid7]"
+        );
+    }
+}

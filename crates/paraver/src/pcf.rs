@@ -1,0 +1,69 @@
+//! Paraver `.pcf` (configuration) writer: state names, colors, and
+//! event type/value tables, so the GUI shows "timer_interrupt" instead
+//! of opaque numbers.
+
+use std::fmt::Write as _;
+
+use osn_kernel::activity::Activity;
+
+use crate::prv::{EVTYPE_KERNEL, EVTYPE_MARK, EVTYPE_MIGRATE, EVTYPE_WAKEUP};
+use crate::states::{all_states, state_rgb};
+
+/// Generate the `.pcf` companion file.
+pub fn write_pcf() -> String {
+    let mut out = String::new();
+    out.push_str("DEFAULT_OPTIONS\n\nLEVEL\tTHREAD\nUNITS\tNANOSEC\n\n");
+
+    out.push_str("STATES\n");
+    for (code, label) in all_states() {
+        let _ = writeln!(out, "{}\t{}", code, label);
+    }
+    out.push('\n');
+
+    out.push_str("STATES_COLOR\n");
+    for (code, _) in all_states() {
+        let (r, g, b) = state_rgb(code);
+        let _ = writeln!(out, "{}\t{{{},{},{}}}", code, r, g, b);
+    }
+    out.push('\n');
+
+    out.push_str("EVENT_TYPE\n");
+    let _ = writeln!(out, "0\t{}\tKernel activity", EVTYPE_KERNEL);
+    out.push_str("VALUES\n0\tend\n");
+    for a in Activity::all() {
+        let _ = writeln!(out, "{}\t{}", a.code(), a);
+    }
+    out.push('\n');
+
+    out.push_str("EVENT_TYPE\n");
+    let _ = writeln!(out, "0\t{}\tUser mark id", EVTYPE_MARK);
+    let _ = writeln!(out, "0\t{}\tUser mark value", EVTYPE_MARK + 10);
+    let _ = writeln!(out, "0\t{}\tWakeup", EVTYPE_WAKEUP);
+    let _ = writeln!(out, "0\t{}\tMigration (destination cpu)", EVTYPE_MIGRATE);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcf_contains_all_sections() {
+        let pcf = write_pcf();
+        assert!(pcf.contains("STATES\n"));
+        assert!(pcf.contains("STATES_COLOR\n"));
+        assert!(pcf.contains("EVENT_TYPE\n"));
+        assert!(pcf.contains("timer_interrupt"));
+        assert!(pcf.contains("run_rebalance_domains"));
+        assert!(pcf.contains(&EVTYPE_KERNEL.to_string()));
+    }
+
+    #[test]
+    fn every_activity_named() {
+        let pcf = write_pcf();
+        for a in Activity::all() {
+            assert!(pcf.contains(&a.to_string()), "{a} missing from pcf");
+        }
+    }
+}

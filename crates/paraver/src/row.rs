@@ -1,0 +1,45 @@
+//! Paraver `.row` writer: human-readable names for CPUs and tasks.
+
+use std::fmt::Write as _;
+
+use osn_kernel::task::TaskMeta;
+
+/// Generate the `.row` companion file.
+pub fn write_row(ncpus: usize, tasks: &[TaskMeta]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "LEVEL CPU SIZE {}", ncpus);
+    for i in 0..ncpus {
+        let _ = writeln!(out, "cpu{}", i);
+    }
+    out.push('\n');
+    let _ = writeln!(out, "LEVEL THREAD SIZE {}", tasks.len());
+    for t in tasks {
+        let _ = writeln!(out, "{} ({})", t.name, t.kind);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::ids::Tid;
+    use osn_kernel::time::Nanos;
+
+    #[test]
+    fn row_lists_cpus_and_tasks() {
+        let tasks = vec![TaskMeta {
+            tid: Tid(1),
+            name: "amg.0".into(),
+            kind: "app".into(),
+            job: None,
+            rank: 0,
+            user_time: Nanos::ZERO,
+            faults: 0,
+        }];
+        let row = write_row(2, &tasks);
+        assert!(row.contains("LEVEL CPU SIZE 2"));
+        assert!(row.contains("cpu1"));
+        assert!(row.contains("amg.0 (app)"));
+        assert!(row.contains("LEVEL THREAD SIZE 1"));
+    }
+}

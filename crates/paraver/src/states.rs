@@ -1,0 +1,121 @@
+//! Paraver state codes for kernel activities — the color legend of the
+//! paper's trace screenshots (Fig 2: timer interrupts black, page
+//! faults red, preemption green, softirqs pink, schedule orange).
+
+use osn_kernel::activity::{Activity, SchedPart, SoftirqVec};
+
+/// Base task states (Paraver conventions: 0 idle, 1 running, 2 ready,
+/// 3 blocked... we keep 1-3 compatible).
+pub const STATE_IDLE: u32 = 0;
+pub const STATE_RUNNING: u32 = 1;
+pub const STATE_READY: u32 = 2;
+pub const STATE_BLOCKED: u32 = 3;
+
+/// Kernel activity states start here.
+pub const STATE_ACTIVITY_BASE: u32 = 20;
+
+/// The Paraver state code of a kernel activity.
+pub fn state_code(a: Activity) -> u32 {
+    STATE_ACTIVITY_BASE + a.code() as u32
+}
+
+/// Inverse of [`state_code`].
+pub fn activity_of_state(code: u32) -> Option<Activity> {
+    code.checked_sub(STATE_ACTIVITY_BASE)
+        .and_then(|c| u16::try_from(c).ok())
+        .and_then(Activity::from_code)
+}
+
+/// Human label for any state code (the `.pcf` STATES section).
+pub fn state_label(code: u32) -> String {
+    match code {
+        STATE_IDLE => "Idle".to_string(),
+        STATE_RUNNING => "Running".to_string(),
+        STATE_READY => "Ready (preempted)".to_string(),
+        STATE_BLOCKED => "Blocked".to_string(),
+        other => match activity_of_state(other) {
+            Some(a) => a.to_string(),
+            None => format!("state{other}"),
+        },
+    }
+}
+
+/// All state codes we ever emit, with labels (for `.pcf` generation).
+pub fn all_states() -> Vec<(u32, String)> {
+    let mut out = vec![
+        (STATE_IDLE, state_label(STATE_IDLE)),
+        (STATE_RUNNING, state_label(STATE_RUNNING)),
+        (STATE_READY, state_label(STATE_READY)),
+        (STATE_BLOCKED, state_label(STATE_BLOCKED)),
+    ];
+    for a in Activity::all() {
+        out.push((state_code(a), a.to_string()));
+    }
+    out
+}
+
+/// The paper's color legend, as RGB for the `.pcf` (approximating the
+/// figures: black timer, red faults, pink timer-softirq, orange
+/// schedule, green preemption/ready).
+pub fn state_rgb(code: u32) -> (u8, u8, u8) {
+    if code == STATE_READY {
+        return (0, 160, 0); // green: preempted
+    }
+    match activity_of_state(code) {
+        Some(Activity::TimerInterrupt) | Some(Activity::HrTimerInterrupt) => (0, 0, 0),
+        Some(Activity::PageFault(_)) => (200, 0, 0),
+        Some(Activity::Softirq(SoftirqVec::Timer)) => (230, 100, 180),
+        Some(Activity::Schedule(SchedPart::Before))
+        | Some(Activity::Schedule(SchedPart::After)) => (240, 140, 0),
+        Some(Activity::NetworkInterrupt)
+        | Some(Activity::Softirq(SoftirqVec::NetRx))
+        | Some(Activity::Softirq(SoftirqVec::NetTx)) => (0, 0, 200),
+        Some(Activity::Softirq(SoftirqVec::Rcu))
+        | Some(Activity::Softirq(SoftirqVec::Rebalance)) => (140, 80, 200),
+        Some(Activity::Syscall(_)) => (120, 120, 120),
+        None => (255, 255, 255),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_codes_roundtrip() {
+        for a in Activity::all() {
+            assert_eq!(activity_of_state(state_code(a)), Some(a), "{a}");
+        }
+        assert_eq!(activity_of_state(STATE_RUNNING), None);
+        assert_eq!(activity_of_state(9999), None);
+    }
+
+    #[test]
+    fn base_states_distinct_from_activities() {
+        let codes: Vec<u32> = all_states().iter().map(|(c, _)| *c).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(codes.len(), dedup.len(), "duplicate state codes");
+    }
+
+    #[test]
+    fn labels_are_meaningful() {
+        assert_eq!(state_label(STATE_RUNNING), "Running");
+        let timer = state_code(Activity::TimerInterrupt);
+        assert_eq!(state_label(timer), "timer_interrupt");
+        assert_eq!(state_label(12345), "state12345");
+    }
+
+    #[test]
+    fn paper_legend_colors() {
+        use osn_kernel::activity::FaultKind;
+        // Fig 2: timer black, page fault red, ready/preempted green.
+        assert_eq!(state_rgb(state_code(Activity::TimerInterrupt)), (0, 0, 0));
+        assert_eq!(
+            state_rgb(state_code(Activity::PageFault(FaultKind::AnonZero))),
+            (200, 0, 0)
+        );
+        assert_eq!(state_rgb(STATE_READY), (0, 160, 0));
+    }
+}

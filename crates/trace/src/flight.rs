@@ -1,0 +1,249 @@
+//! Flight-recorder (overwrite) channels: LTTng's second buffering mode.
+//!
+//! The discard-mode SPSC ring ([`crate::ringbuf`]) never loses *old*
+//! records — under overload it drops new ones and counts them. LTTng's
+//! *overwrite* mode does the opposite: the tracer runs forever into a
+//! bounded buffer and, when something interesting happens (a crash, an
+//! SLA violation, a giant interruption), the operator *snapshots* the
+//! most recent history.
+//!
+//! LTTng implements this with **sub-buffers**: the producer fills one
+//! sub-buffer at a time; switching to the next one reclaims (discards)
+//! the oldest unread sub-buffer if the consumer has not taken it. We
+//! implement the same structure for a single-threaded producer with
+//! explicit snapshots, which is how the simulator uses it.
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// A bounded flight-recorder channel of `nsub` sub-buffers holding
+/// `per_sub` records each. The most recent `nsub × per_sub` records
+/// (rounded down to sub-buffer granularity) are always available to
+/// [`FlightRecorder::snapshot`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Filled sub-buffers, oldest first.
+    full: VecDeque<Vec<Event>>,
+    /// The sub-buffer currently being written.
+    current: Vec<Event>,
+    per_sub: usize,
+    nsub: usize,
+    /// Whole sub-buffers discarded to make room (overwrite mode's
+    /// loss accounting: old data, not new).
+    pub overwritten_subbuffers: u64,
+}
+
+impl FlightRecorder {
+    /// Create a recorder with `nsub` sub-buffers of `per_sub` records.
+    pub fn new(nsub: usize, per_sub: usize) -> FlightRecorder {
+        assert!(nsub >= 2, "need at least two sub-buffers");
+        assert!(per_sub >= 1);
+        FlightRecorder {
+            full: VecDeque::with_capacity(nsub),
+            current: Vec::with_capacity(per_sub),
+            per_sub,
+            nsub,
+            overwritten_subbuffers: 0,
+        }
+    }
+
+    /// Record one event; never fails, overwriting the oldest history
+    /// when full.
+    pub fn record(&mut self, event: Event) {
+        if self.current.len() == self.per_sub {
+            self.switch();
+        }
+        self.current.push(event);
+    }
+
+    /// Sub-buffer switch: seal the current buffer, reclaiming the
+    /// oldest if the window is full.
+    fn switch(&mut self) {
+        // `nsub - 1` sealed buffers + the current one = nsub total.
+        if self.full.len() == self.nsub - 1 {
+            self.full.pop_front();
+            self.overwritten_subbuffers += 1;
+        }
+        let sealed = std::mem::replace(&mut self.current, Vec::with_capacity(self.per_sub));
+        self.full.push_back(sealed);
+    }
+
+    /// Total records currently retained.
+    pub fn len(&self) -> usize {
+        self.full.iter().map(Vec::len).sum::<usize>() + self.current.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The retention capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.nsub * self.per_sub
+    }
+
+    /// Snapshot the retained history, oldest first. The recorder keeps
+    /// running; the snapshot is a copy (as `lttng snapshot record` is).
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len());
+        for sub in &self.full {
+            out.extend_from_slice(sub);
+        }
+        out.extend_from_slice(&self.current);
+        out
+    }
+
+    /// Drain the retained history, resetting the recorder.
+    pub fn take(&mut self) -> Vec<Event> {
+        let snap = self.snapshot();
+        self.full.clear();
+        self.current.clear();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::Activity;
+    use osn_kernel::ids::{CpuId, Tid};
+    use osn_kernel::time::Nanos;
+
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            t: Nanos(i),
+            cpu: CpuId(0),
+            tid: Tid(1),
+            kind: EventKind::AppMark {
+                mark: 0,
+                value: i,
+            },
+        }
+    }
+
+    fn values(events: &[Event]) -> Vec<u64> {
+        events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::AppMark { value, .. } => value,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn retains_everything_until_full() {
+        let mut fr = FlightRecorder::new(4, 8);
+        for i in 0..20 {
+            fr.record(ev(i));
+        }
+        assert_eq!(fr.len(), 20);
+        assert_eq!(fr.overwritten_subbuffers, 0);
+        assert_eq!(values(&fr.snapshot()), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overwrites_oldest_subbuffer_granularity() {
+        let mut fr = FlightRecorder::new(3, 4); // retains ≤ 12
+        for i in 0..100 {
+            fr.record(ev(i));
+        }
+        assert!(fr.len() <= fr.capacity());
+        assert!(fr.overwritten_subbuffers > 0);
+        let snap = values(&fr.snapshot());
+        // The newest record is always present; history is contiguous.
+        assert_eq!(*snap.last().unwrap(), 99);
+        assert!(snap.windows(2).all(|w| w[1] == w[0] + 1));
+        // At least (nsub-1) full sub-buffers of history retained.
+        assert!(snap.len() >= 2 * 4);
+    }
+
+    #[test]
+    fn snapshot_does_not_disturb_recording() {
+        let mut fr = FlightRecorder::new(2, 4);
+        for i in 0..6 {
+            fr.record(ev(i));
+        }
+        let a = fr.snapshot();
+        fr.record(ev(6));
+        let b = fr.snapshot();
+        assert_eq!(b.len(), a.len() + 1);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut fr = FlightRecorder::new(2, 4);
+        for i in 0..5 {
+            fr.record(ev(i));
+        }
+        let taken = fr.take();
+        assert_eq!(taken.len(), 5);
+        assert!(fr.is_empty());
+        fr.record(ev(10));
+        assert_eq!(fr.len(), 1);
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let fr = FlightRecorder::new(8, 128);
+        assert_eq!(fr.capacity(), 1024);
+        assert!(fr.is_empty());
+    }
+
+    /// Flight-recording an actual simulation and snapshotting around
+    /// the largest FTQ spike: the post-mortem debugging workflow.
+    #[test]
+    fn flight_recorder_probe_on_a_real_run() {
+        use osn_kernel::config::NodeConfig;
+        use osn_kernel::hooks::Probe;
+        use osn_kernel::node::Node;
+        use osn_kernel::prelude::{BusyLoop, Workload};
+
+        struct FlightProbe {
+            recorder: FlightRecorder,
+        }
+        impl Probe for FlightProbe {
+            fn kernel_enter(&mut self, t: Nanos, cpu: CpuId, tid: Tid, a: Activity) {
+                self.recorder.record(Event {
+                    t,
+                    cpu,
+                    tid,
+                    kind: EventKind::KernelEnter(a),
+                });
+            }
+            fn kernel_exit(&mut self, t: Nanos, cpu: CpuId, tid: Tid, a: Activity) {
+                self.recorder.record(Event {
+                    t,
+                    cpu,
+                    tid,
+                    kind: EventKind::KernelExit(a),
+                });
+            }
+        }
+
+        let mut node = Node::new(
+            NodeConfig::default()
+                .with_cpus(1)
+                .with_seed(3)
+                .with_horizon(Nanos::from_secs(3)),
+        );
+        node.spawn_job(
+            "w",
+            vec![Box::new(BusyLoop::new(Nanos::from_secs(2))) as Box<dyn Workload>],
+        );
+        let mut probe = FlightProbe {
+            recorder: FlightRecorder::new(4, 64),
+        };
+        node.run(&mut probe);
+        // A 2 s run generates far more than 256 events; only the most
+        // recent window is retained, and it is well-formed.
+        assert!(probe.recorder.overwritten_subbuffers > 0);
+        let snap = probe.recorder.snapshot();
+        assert!(!snap.is_empty());
+        assert!(snap.len() <= probe.recorder.capacity());
+        assert!(snap.windows(2).all(|w| w[0].t <= w[1].t), "time-ordered");
+    }
+}

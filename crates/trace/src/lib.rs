@@ -1,0 +1,32 @@
+//! `osn-trace`: the LTT NG-NOISE tracer.
+//!
+//! This crate is the simulator-side equivalent of the paper's extended
+//! LTTng: it implements the kernel's instrumentation surface
+//! ([`osn_kernel::hooks::Probe`]) with per-CPU lock-free ring buffers,
+//! nanosecond timestamps, a background consumer, a compact binary wire
+//! format, and the instrumentation-overhead experiment of §III-A.
+//!
+//! ```
+//! use osn_kernel::prelude::*;
+//! use osn_trace::session::TraceSession;
+//!
+//! let cfg = NodeConfig::default().with_horizon(Nanos::from_millis(30));
+//! let mut node = Node::new(cfg);
+//! node.spawn_job("demo", vec![Box::new(BusyLoop::new(Nanos::from_millis(20)))]);
+//! let (session, mut tracer) = TraceSession::with_defaults(8);
+//! let _result = node.run(&mut tracer);
+//! let trace = session.stop();
+//! assert!(trace.len() > 0);
+//! assert_eq!(trace.total_lost(), 0);
+//! ```
+
+pub mod event;
+pub mod flight;
+pub mod overhead;
+pub mod ringbuf;
+pub mod session;
+pub mod wire;
+
+pub use event::{Event, EventKind, Trace};
+pub use flight::FlightRecorder;
+pub use session::{EventMask, TraceSession, Tracer};

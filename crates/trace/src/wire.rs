@@ -1,0 +1,429 @@
+//! Binary trace serialization (the on-disk format, CTF-lite).
+//!
+//! Fixed 32-byte little-endian records behind a small header:
+//!
+//! ```text
+//! header:  magic "OSNTRACE" | u32 version | u32 ncpus
+//!          ncpus × u64 lost-counters | u64 event count
+//! record:  u64 t | u16 cpu | u16 code | u32 tid | u64 a | u64 b
+//! ```
+//!
+//! Fixed-size records keep the producer path branch-free and make the
+//! file seekable; the `code`/`a`/`b` encoding is append-only versioned.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use osn_kernel::activity::Activity;
+use osn_kernel::hooks::SwitchState;
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+
+use crate::event::{Event, EventKind, Trace};
+
+pub const MAGIC: &[u8; 8] = b"OSNTRACE";
+pub const VERSION: u32 = 1;
+pub const RECORD_BYTES: usize = 32;
+
+/// Decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    BadMagic,
+    BadVersion(u32),
+    Truncated,
+    BadCode(u16),
+    BadActivity(u16),
+    BadState(u16),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::Truncated => write!(f, "truncated stream"),
+            WireError::BadCode(c) => write!(f, "unknown record code {c}"),
+            WireError::BadActivity(c) => write!(f, "unknown activity code {c}"),
+            WireError::BadState(c) => write!(f, "unknown switch state {c}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+mod code {
+    pub const ENTER: u16 = 1;
+    pub const EXIT: u16 = 2;
+    pub const RAISE: u16 = 3;
+    pub const SWITCH: u16 = 4;
+    pub const WAKEUP: u16 = 5;
+    pub const MIGRATE: u16 = 6;
+    pub const MARK: u16 = 7;
+    pub const TASK_EXIT: u16 = 8;
+}
+
+fn encode_record(buf: &mut BytesMut, e: &Event) {
+    buf.put_u64_le(e.t.as_nanos());
+    buf.put_u16_le(e.cpu.0);
+    let (c, tid, a, b) = match e.kind {
+        EventKind::KernelEnter(act) => (code::ENTER, e.tid.0, act.code() as u64, 0),
+        EventKind::KernelExit(act) => (code::EXIT, e.tid.0, act.code() as u64, 0),
+        EventKind::SoftirqRaise(vec) => (
+            code::RAISE,
+            e.tid.0,
+            Activity::Softirq(vec).code() as u64,
+            0,
+        ),
+        EventKind::SchedSwitch {
+            prev,
+            prev_state,
+            next,
+        } => (
+            code::SWITCH,
+            prev.0,
+            ((prev_state.code() as u64) << 32) | next.0 as u64,
+            0,
+        ),
+        EventKind::Wakeup { tid, waker } => (code::WAKEUP, tid.0, waker.0 as u64, 0),
+        EventKind::Migrate { tid, from, to } => (
+            code::MIGRATE,
+            tid.0,
+            ((from.0 as u64) << 16) | to.0 as u64,
+            0,
+        ),
+        EventKind::AppMark { mark, value } => (code::MARK, e.tid.0, mark as u64, value),
+        EventKind::TaskExit { tid } => (code::TASK_EXIT, tid.0, 0, 0),
+    };
+    buf.put_u16_le(c);
+    buf.put_u32_le(tid);
+    buf.put_u64_le(a);
+    buf.put_u64_le(b);
+}
+
+fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
+    if buf.remaining() < RECORD_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let t = Nanos(buf.get_u64_le());
+    let cpu = CpuId(buf.get_u16_le());
+    let c = buf.get_u16_le();
+    let tid = Tid(buf.get_u32_le());
+    let a = buf.get_u64_le();
+    let b = buf.get_u64_le();
+    let activity = |code: u64| {
+        Activity::from_code(code as u16).ok_or(WireError::BadActivity(code as u16))
+    };
+    let kind = match c {
+        code::ENTER => EventKind::KernelEnter(activity(a)?),
+        code::EXIT => EventKind::KernelExit(activity(a)?),
+        code::RAISE => match activity(a)? {
+            Activity::Softirq(vec) => EventKind::SoftirqRaise(vec),
+            _ => return Err(WireError::BadActivity(a as u16)),
+        },
+        code::SWITCH => {
+            let state_code = (a >> 32) as u16;
+            EventKind::SchedSwitch {
+                prev: tid,
+                prev_state: SwitchState::from_code(state_code)
+                    .ok_or(WireError::BadState(state_code))?,
+                next: Tid(a as u32),
+            }
+        }
+        code::WAKEUP => EventKind::Wakeup {
+            tid,
+            waker: Tid(a as u32),
+        },
+        code::MIGRATE => EventKind::Migrate {
+            tid,
+            from: CpuId((a >> 16) as u16),
+            to: CpuId(a as u16),
+        },
+        code::MARK => EventKind::AppMark {
+            mark: a as u32,
+            value: b,
+        },
+        code::TASK_EXIT => EventKind::TaskExit { tid },
+        other => return Err(WireError::BadCode(other)),
+    };
+    // The context tid: for SWITCH the wire reuses the tid field as
+    // `prev` (which equals the context), for WAKEUP as the woken task.
+    let ctx_tid = match kind {
+        EventKind::Wakeup { waker, .. } => waker,
+        _ => tid,
+    };
+    Ok(Event {
+        t,
+        cpu,
+        tid: ctx_tid,
+        kind,
+    })
+}
+
+/// Serialize a trace to bytes.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        MAGIC.len() + 8 + trace.lost.len() * 8 + 8 + trace.events.len() * RECORD_BYTES,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(trace.lost.len() as u32);
+    for &l in &trace.lost {
+        buf.put_u64_le(l);
+    }
+    buf.put_u64_le(trace.events.len() as u64);
+    for e in &trace.events {
+        encode_record(&mut buf, e);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a trace from bytes.
+pub fn decode(mut buf: Bytes) -> Result<Trace, WireError> {
+    if buf.remaining() < MAGIC.len() + 8 {
+        return Err(WireError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let ncpus = buf.get_u32_le() as usize;
+    // Validate declared lengths against the actual payload before any
+    // allocation: a corrupted (or hostile) header must not drive a
+    // multi-gigabyte `Vec::with_capacity`.
+    if ncpus
+        .checked_mul(8)
+        .and_then(|n| n.checked_add(8))
+        .is_none_or(|need| buf.remaining() < need)
+    {
+        return Err(WireError::Truncated);
+    }
+    let lost: Vec<u64> = (0..ncpus).map(|_| buf.get_u64_le()).collect();
+    let count = buf.get_u64_le();
+    let count: usize = count.try_into().map_err(|_| WireError::Truncated)?;
+    if count
+        .checked_mul(RECORD_BYTES)
+        .is_none_or(|need| buf.remaining() < need)
+    {
+        return Err(WireError::Truncated);
+    }
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        events.push(decode_record(&mut buf)?);
+    }
+    Ok(Trace { events, lost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::activity::{FaultKind, SoftirqVec};
+
+    fn sample_trace() -> Trace {
+        let mk = |t: u64, cpu: u16, tid: u32, kind: EventKind| Event {
+            t: Nanos(t),
+            cpu: CpuId(cpu),
+            tid: Tid(tid),
+            kind,
+        };
+        Trace {
+            events: vec![
+                mk(1, 0, 1, EventKind::KernelEnter(Activity::TimerInterrupt)),
+                mk(
+                    2,
+                    0,
+                    1,
+                    EventKind::KernelEnter(Activity::PageFault(FaultKind::Cow)),
+                ),
+                mk(3, 0, 0, EventKind::SoftirqRaise(SoftirqVec::NetRx)),
+                mk(
+                    4,
+                    1,
+                    5,
+                    EventKind::SchedSwitch {
+                        prev: Tid(5),
+                        prev_state: SwitchState::BlockedIo,
+                        next: Tid(6),
+                    },
+                ),
+                mk(
+                    5,
+                    1,
+                    9,
+                    EventKind::Wakeup {
+                        tid: Tid(7),
+                        waker: Tid(9),
+                    },
+                ),
+                mk(
+                    6,
+                    1,
+                    7,
+                    EventKind::Migrate {
+                        tid: Tid(7),
+                        from: CpuId(1),
+                        to: CpuId(3),
+                    },
+                ),
+                mk(
+                    7,
+                    2,
+                    8,
+                    EventKind::AppMark {
+                        mark: 11,
+                        value: u64::MAX - 3,
+                    },
+                ),
+                mk(8, 2, 8, EventKind::TaskExit { tid: Tid(8) }),
+            ],
+            lost: vec![0, 5, 0],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back.lost, trace.lost);
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn record_size_is_fixed() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        let header = MAGIC.len() + 4 + 4 + trace.lost.len() * 8 + 8;
+        assert_eq!(
+            bytes.len(),
+            header + trace.events.len() * RECORD_BYTES
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let trace = sample_trace();
+        let mut bytes = encode(&trace).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(Bytes::from(bytes)).unwrap_err(), WireError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let trace = sample_trace();
+        let mut bytes = encode(&trace).to_vec();
+        bytes[8] = 99;
+        assert_eq!(
+            decode(Bytes::from(bytes)).unwrap_err(),
+            WireError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let trace = sample_trace();
+        let bytes = encode(&trace);
+        for cut in [3, 12, bytes.len() - 1] {
+            let sliced = bytes.slice(0..cut);
+            assert_eq!(
+                decode(sliced).unwrap_err(),
+                WireError::Truncated,
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace {
+            events: vec![],
+            lost: vec![],
+        };
+        let back = decode(encode(&trace)).unwrap();
+        assert!(back.events.is_empty());
+        assert!(back.lost.is_empty());
+    }
+
+    #[test]
+    fn all_activities_roundtrip() {
+        let events: Vec<Event> = Activity::all()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(i, a)| {
+                [
+                    Event {
+                        t: Nanos(i as u64 * 2),
+                        cpu: CpuId(0),
+                        tid: Tid(1),
+                        kind: EventKind::KernelEnter(a),
+                    },
+                    Event {
+                        t: Nanos(i as u64 * 2 + 1),
+                        cpu: CpuId(0),
+                        tid: Tid(1),
+                        kind: EventKind::KernelExit(a),
+                    },
+                ]
+            })
+            .collect();
+        let trace = Trace {
+            events,
+            lost: vec![0],
+        };
+        let back = decode(encode(&trace)).unwrap();
+        assert_eq!(back.events, trace.events);
+    }
+}
+
+/// Write a trace to a file in the wire format.
+pub fn write_trace_file(path: &std::path::Path, trace: &Trace) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Read a trace from a wire-format file.
+pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    let raw = std::fs::read(path)?;
+    decode(Bytes::from(raw)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use osn_kernel::ids::{CpuId, Tid};
+    use osn_kernel::time::Nanos;
+    use crate::EventKind;
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = Trace {
+            events: vec![Event {
+                t: Nanos(5),
+                cpu: CpuId(0),
+                tid: Tid(1),
+                kind: EventKind::KernelEnter(Activity::TimerInterrupt),
+            }],
+            lost: vec![0],
+        };
+        let dir = std::env::temp_dir().join("osn-wire-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        write_trace_file(&path, &trace).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(back.events, trace.events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_corrupt_file_is_io_error() {
+        let dir = std::env::temp_dir().join("osn-wire-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = read_trace_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,185 @@
+//! Helper processes: UMT's Python/pyMPI scripts and generic user
+//! daemons.
+//!
+//! "UMT is a different case because the application is more complex
+//! than the others. In particular, UMT runs several Python processes
+//! that may 1) interrupt the computing tasks, and 2) trigger process
+//! migration and domain balancing."
+
+use osn_kernel::ids::RegionId;
+use osn_kernel::mm::Backing;
+use osn_kernel::time::Nanos;
+use osn_kernel::workload::{Action, Outcome, Workload, WorkloadCtx};
+
+/// A sporadically-active interpreter process: sleeps, wakes, runs a
+/// short burst (occasionally faulting in fresh heap), repeats until
+/// its deadline.
+pub struct PythonHelper {
+    /// Stop issuing work after this simulation time.
+    pub deadline: Nanos,
+    /// Mean sleep between bursts.
+    pub sleep_mean: Nanos,
+    /// Mean burst length.
+    pub burst_mean: Nanos,
+    /// Probability a burst allocates and touches fresh pages.
+    pub alloc_prob: f64,
+    /// Pages per allocation burst.
+    pub alloc_pages: u64,
+    state: HelperState,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HelperState {
+    Sleeping,
+    Burst,
+    MaybeAlloc,
+    Touch,
+    Free,
+}
+
+impl PythonHelper {
+    pub fn new(deadline: Nanos) -> Self {
+        PythonHelper {
+            deadline,
+            sleep_mean: Nanos::from_millis(150),
+            burst_mean: Nanos::from_micros(250),
+            alloc_prob: 0.3,
+            alloc_pages: 32,
+            state: HelperState::Sleeping,
+        }
+    }
+}
+
+impl Workload for PythonHelper {
+    fn name(&self) -> &'static str {
+        "python"
+    }
+
+    fn cache_factor(&self) -> f64 {
+        1.4 // interpreters are cache-hostile
+    }
+
+    fn next(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        if ctx.now >= self.deadline {
+            return Action::Exit;
+        }
+        loop {
+            match self.state {
+                HelperState::Sleeping => {
+                    self.state = HelperState::Burst;
+                    let dur = ctx.rng.interarrival(self.sleep_mean).max(Nanos::MILLI);
+                    return Action::Sleep { dur };
+                }
+                HelperState::Burst => {
+                    self.state = HelperState::MaybeAlloc;
+                    let work = ctx
+                        .rng
+                        .interarrival(self.burst_mean)
+                        .max(Nanos::from_micros(200));
+                    return Action::Compute { work };
+                }
+                HelperState::MaybeAlloc => {
+                    if ctx.rng.chance(self.alloc_prob) {
+                        self.state = HelperState::Touch;
+                        return Action::Mmap {
+                            backing: Backing::AnonRecycled,
+                            pages: self.alloc_pages,
+                        };
+                    }
+                    self.state = HelperState::Sleeping;
+                }
+                HelperState::Touch => {
+                    self.state = HelperState::Free;
+                    let region = match ctx.outcome {
+                        Outcome::Mapped(r) => r,
+                        other => {
+                            debug_assert!(false, "expected Mapped, got {other:?}");
+                            RegionId(0)
+                        }
+                    };
+                    return Action::Touch {
+                        region,
+                        first_page: 0,
+                        pages: self.alloc_pages,
+                        work_per_page: Nanos(500),
+                    };
+                }
+                HelperState::Free => {
+                    self.state = HelperState::Sleeping;
+                    // Region id comes from the last Mapped outcome;
+                    // retrieve the most recent region in the space.
+                    let last = ctx.aspace.regions().last().map(|r| r.id);
+                    if let Some(region) = last {
+                        return Action::Munmap { region };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::mm::AddressSpace;
+    use osn_kernel::rng::Stream;
+
+    #[test]
+    fn helper_cycles_sleep_burst() {
+        let mut h = PythonHelper::new(Nanos::from_secs(1));
+        let mut rng = Stream::new(3, "h");
+        let mut aspace = AddressSpace::new();
+        let mut outcome = Outcome::Start;
+        let mut saw_sleep = false;
+        let mut saw_compute = false;
+        let mut saw_touch = false;
+        for step in 0..500 {
+            let action = {
+                let mut ctx = WorkloadCtx {
+                    now: Nanos(step), // time advances trivially
+                    rank: 0,
+                    nranks: 1,
+                    outcome,
+                    rng: &mut rng,
+                    aspace: &aspace,
+                };
+                h.next(&mut ctx)
+            };
+            outcome = match action {
+                Action::Sleep { .. } => {
+                    saw_sleep = true;
+                    Outcome::Done
+                }
+                Action::Compute { .. } => {
+                    saw_compute = true;
+                    Outcome::Done
+                }
+                Action::Mmap { backing, pages } => Outcome::Mapped(aspace.mmap(backing, pages)),
+                Action::Touch { .. } => {
+                    saw_touch = true;
+                    Outcome::Done
+                }
+                Action::Exit => break,
+                _ => Outcome::Done,
+            };
+        }
+        assert!(saw_sleep && saw_compute);
+        assert!(saw_touch, "allocation bursts should occur at p=0.3");
+    }
+
+    #[test]
+    fn helper_exits_at_deadline() {
+        let mut h = PythonHelper::new(Nanos(100));
+        let mut rng = Stream::new(3, "h");
+        let aspace = AddressSpace::new();
+        let mut ctx = WorkloadCtx {
+            now: Nanos(200),
+            rank: 0,
+            nranks: 1,
+            outcome: Outcome::Start,
+            rng: &mut rng,
+            aspace: &aspace,
+        };
+        assert_eq!(h.next(&mut ctx), Action::Exit);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic noise injection (Ferreira, Bridges & Brightwell, SC'08 —
+//! the paper's reference \[2\]): a daemon-like process that
+//! periodically wakes and burns CPU for a configurable duration.
+//!
+//! Injection closes the validation loop for the tracer: when we inject
+//! a known noise signature, the measured preemption noise must match
+//! it. It also drives resonance studies together with the scale models
+//! in `osn-core`.
+
+use osn_kernel::time::Nanos;
+use osn_kernel::workload::{Action, Workload, WorkloadCtx};
+
+/// A periodic noise source: sleep `period - duration`, burn `duration`.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseInjector {
+    /// Injection period (e.g. 1 s for a cron-ish daemon, 10 ms for a
+    /// tick-rate disturbance).
+    pub period: Nanos,
+    /// CPU burst per period.
+    pub duration: Nanos,
+    /// Jitter the period by ±this fraction (0 = strictly periodic;
+    /// strictly periodic noise resonates with same-period apps).
+    pub period_jitter: f64,
+    /// Stop injecting at this time.
+    pub deadline: Nanos,
+}
+
+impl NoiseInjector {
+    /// An injector delivering `fraction` of one CPU at the given
+    /// period (e.g. 0.01 at 10 ms = 100 µs bursts).
+    pub fn with_fraction(period: Nanos, fraction: f64, deadline: Nanos) -> Self {
+        NoiseInjector {
+            period,
+            duration: period.scale(fraction),
+            period_jitter: 0.0,
+            deadline,
+        }
+    }
+
+    /// The injected CPU fraction.
+    pub fn fraction(&self) -> f64 {
+        self.duration.as_nanos() as f64 / self.period.as_nanos().max(1) as f64
+    }
+}
+
+/// Workload state: alternate Sleep / Compute.
+pub struct InjectorWorkload {
+    spec: NoiseInjector,
+    burning: bool,
+}
+
+impl InjectorWorkload {
+    pub fn new(spec: NoiseInjector) -> Self {
+        InjectorWorkload {
+            spec,
+            burning: false,
+        }
+    }
+}
+
+impl Workload for InjectorWorkload {
+    fn name(&self) -> &'static str {
+        "injector"
+    }
+
+    fn next(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        if ctx.now >= self.spec.deadline {
+            return Action::Exit;
+        }
+        if self.burning {
+            self.burning = false;
+            Action::Compute {
+                work: self.spec.duration,
+            }
+        } else {
+            self.burning = true;
+            let gap = self.spec.period.saturating_sub(self.spec.duration);
+            let jitter = if self.spec.period_jitter > 0.0 {
+                let u = 2.0 * ctx.rng.uniform() - 1.0;
+                1.0 + self.spec.period_jitter * u
+            } else {
+                1.0
+            };
+            Action::Sleep {
+                dur: gap.scale(jitter).max(Nanos(1_000)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::mm::AddressSpace;
+    use osn_kernel::rng::Stream;
+    use osn_kernel::workload::Outcome;
+
+    #[test]
+    fn fraction_math() {
+        let spec =
+            NoiseInjector::with_fraction(Nanos::from_millis(10), 0.01, Nanos::from_secs(1));
+        assert_eq!(spec.duration, Nanos::from_micros(100));
+        assert!((spec.fraction() - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternates_sleep_and_burn_then_exits() {
+        let spec = NoiseInjector::with_fraction(Nanos::from_millis(1), 0.1, Nanos(10_000_000));
+        let mut w = InjectorWorkload::new(spec);
+        let mut rng = Stream::new(1, "i");
+        let aspace = AddressSpace::new();
+        let mut now = Nanos(0);
+        let mut sleeps = 0;
+        let mut burns = 0;
+        for _ in 0..20 {
+            let action = {
+                let mut ctx = WorkloadCtx {
+                    now,
+                    rank: 0,
+                    nranks: 1,
+                    outcome: Outcome::Done,
+                    rng: &mut rng,
+                    aspace: &aspace,
+                };
+                w.next(&mut ctx)
+            };
+            match action {
+                Action::Sleep { dur } => {
+                    sleeps += 1;
+                    now += dur;
+                }
+                Action::Compute { work } => {
+                    burns += 1;
+                    now += work;
+                }
+                Action::Exit => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(sleeps >= 5 && burns >= 5);
+        // Eventually exits once past the deadline.
+        let mut ctx = WorkloadCtx {
+            now: Nanos(20_000_000),
+            rank: 0,
+            nranks: 1,
+            outcome: Outcome::Done,
+            rng: &mut rng,
+            aspace: &aspace,
+        };
+        assert_eq!(w.next(&mut ctx), Action::Exit);
+    }
+}

@@ -1,0 +1,399 @@
+//! The Sequoia benchmark behavioural models: a BSP-style state machine
+//! driven by a [`Profile`].
+//!
+//! Each rank: read input → map+touch working set → iterate
+//! {allocate/touch/free, compute, writeback, occasional synchronous
+//! I/O, barrier} → touch finalization pages → write output → exit.
+
+use osn_kernel::ids::RegionId;
+use osn_kernel::time::Nanos;
+use osn_kernel::workload::{Action, Outcome, Workload, WorkloadCtx};
+
+use crate::profile::{App, Profile};
+
+/// Where the state machine is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Start,
+    LaunchRead,
+    InitMmap,
+    InitTouch,
+    IterSyncIo { iter: u64 },
+    IterMmap { iter: u64 },
+    IterTouch { iter: u64 },
+    IterCompute { iter: u64 },
+    IterMunmap { iter: u64 },
+    IterWriteback { iter: u64 },
+    IterSyncWrite { iter: u64 },
+    IterBarrier { iter: u64 },
+    FinalTouch,
+    FinalWrite,
+    Done,
+}
+
+/// One rank of a Sequoia application.
+pub struct SequoiaWorkload {
+    profile: Profile,
+    state: State,
+    init_region: Option<RegionId>,
+    final_region: Option<RegionId>,
+    iter_region: Option<RegionId>,
+    /// Compute jitter: ±5% per iteration so ranks drift and barriers
+    /// actually synchronize something.
+    jitter: f64,
+}
+
+impl SequoiaWorkload {
+    pub fn new(profile: Profile) -> Self {
+        SequoiaWorkload {
+            profile,
+            state: State::Start,
+            init_region: None,
+            final_region: None,
+            iter_region: None,
+            jitter: 0.05,
+        }
+    }
+
+    pub fn app(&self) -> App {
+        self.profile.app
+    }
+
+    fn iter_compute(&self, ctx: &mut WorkloadCtx<'_>) -> Nanos {
+        let base = self.profile.compute_per_iter.as_nanos() as f64;
+        let j = 1.0 + self.jitter * (2.0 * ctx.rng.uniform() - 1.0);
+        Nanos::from_nanos_f64(base * j)
+    }
+}
+
+impl Workload for SequoiaWorkload {
+    fn name(&self) -> &'static str {
+        self.profile.app.name()
+    }
+
+    fn cache_factor(&self) -> f64 {
+        self.profile.cache_factor
+    }
+
+    fn next(&mut self, ctx: &mut WorkloadCtx<'_>) -> Action {
+        let p = &self.profile;
+        loop {
+            match self.state {
+                State::Start => {
+                    // Staggered launch: mpirun forks ranks one after
+                    // another, so startup I/O does not arrive as one
+                    // burst on the IRQ CPU.
+                    self.state = State::LaunchRead;
+                    if ctx.rank > 0 {
+                        return Action::Sleep {
+                            dur: Nanos::from_millis(15) * ctx.rank as u64,
+                        };
+                    }
+                }
+                State::LaunchRead => {
+                    self.state = State::InitMmap;
+                    if p.input_read_bytes > 0 {
+                        return Action::Read {
+                            bytes: p.input_read_bytes,
+                        };
+                    }
+                }
+                State::InitMmap => {
+                    // Map the init working set and the finalization
+                    // region in one step each; remember which mmap
+                    // completed via the outcome.
+                    if self.init_region.is_none() {
+                        if let Outcome::Mapped(r) = ctx.outcome {
+                            self.init_region = Some(r);
+                        } else {
+                            return Action::Mmap {
+                                backing: p.init_backing,
+                                pages: p.init_pages.max(1),
+                            };
+                        }
+                    }
+                    if self.final_region.is_none()
+                        && p.final_pages > 0 {
+                            match ctx.outcome {
+                                Outcome::Mapped(r) if Some(r) != self.init_region => {
+                                    self.final_region = Some(r);
+                                }
+                                _ => {
+                                    return Action::Mmap {
+                                        backing: p.init_backing,
+                                        pages: p.final_pages,
+                                    };
+                                }
+                            }
+                        }
+                    self.state = State::InitTouch;
+                    if p.init_pages > 0 {
+                        return Action::Touch {
+                            region: self.init_region.expect("mapped"),
+                            first_page: 0,
+                            pages: p.init_pages,
+                            work_per_page: p.work_per_page,
+                        };
+                    }
+                }
+                State::InitTouch => {
+                    self.state = State::IterSyncIo { iter: 0 };
+                }
+                State::IterSyncIo { iter } => {
+                    // Synchronous I/O at iteration *start*: the other
+                    // ranks compute while this one waits, so its
+                    // completion interrupt lands on runnable processes
+                    // (dump-at-barrier would hide the I/O noise inside
+                    // everyone's blocked window).
+                    self.state = State::IterMmap { iter };
+                    if p.sync_io_every > 0
+                        && p.sync_io_bytes > 0
+                        && (iter + 1 + ctx.rank as u64).is_multiple_of(p.sync_io_every)
+                    {
+                        return Action::Write {
+                            bytes: p.sync_io_bytes,
+                        };
+                    }
+                }
+                State::IterMmap { iter } => {
+                    if iter >= p.iterations {
+                        self.state = State::FinalTouch;
+                        continue;
+                    }
+                    if p.pages_per_iter == 0 {
+                        self.state = State::IterCompute { iter };
+                        continue;
+                    }
+                    if let Outcome::Mapped(r) = ctx.outcome {
+                        self.iter_region = Some(r);
+                        self.state = State::IterTouch { iter };
+                        continue;
+                    }
+                    let backing = p.iter_mix.pick(ctx.rng.uniform());
+                    return Action::Mmap {
+                        backing,
+                        pages: p.pages_per_iter,
+                    };
+                }
+                State::IterTouch { iter } => {
+                    self.state = State::IterCompute { iter };
+                    return Action::Touch {
+                        region: self.iter_region.expect("iter region mapped"),
+                        first_page: 0,
+                        pages: p.pages_per_iter,
+                        work_per_page: p.work_per_page,
+                    };
+                }
+                State::IterCompute { iter } => {
+                    self.state = State::IterMunmap { iter };
+                    let work = self.iter_compute(ctx);
+                    return Action::Compute { work };
+                }
+                State::IterMunmap { iter } => {
+                    self.state = State::IterWriteback { iter };
+                    if let Some(r) = self.iter_region.take() {
+                        return Action::Munmap { region: r };
+                    }
+                }
+                State::IterWriteback { iter } => {
+                    self.state = State::IterSyncWrite { iter };
+                    // Staggered by rank so the node's I/O is spread in
+                    // time rather than barrier-aligned bursts.
+                    if p.buffered_write_per_iter > 0
+                        && (iter + 1 + ctx.rank as u64).is_multiple_of(p.writeback_every.max(1))
+                    {
+                        return Action::WriteBuffered {
+                            bytes: p.buffered_write_per_iter,
+                        };
+                    }
+                }
+                State::IterSyncWrite { iter } => {
+                    self.state = State::IterBarrier { iter };
+                    if !p.sync_io_at_start
+                        && p.sync_io_every > 0
+                        && p.sync_io_bytes > 0
+                        && (iter + 1 + ctx.rank as u64) % p.sync_io_every == 0
+                    {
+                        return Action::Write {
+                            bytes: p.sync_io_bytes,
+                        };
+                    }
+                }
+                State::IterBarrier { iter } => {
+                    self.state = State::IterSyncIo { iter: iter + 1 };
+                    if p.barrier_per_iter {
+                        return Action::Barrier;
+                    }
+                }
+                State::FinalTouch => {
+                    self.state = State::FinalWrite;
+                    if p.final_pages > 0 {
+                        return Action::Touch {
+                            region: self.final_region.expect("final region mapped"),
+                            first_page: 0,
+                            pages: p.final_pages,
+                            work_per_page: p.work_per_page,
+                        };
+                    }
+                }
+                State::FinalWrite => {
+                    self.state = State::Done;
+                    if p.final_write_bytes > 0 {
+                        return Action::Write {
+                            bytes: p.final_write_bytes,
+                        };
+                    }
+                }
+                State::Done => return Action::Exit,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::mm::AddressSpace;
+    use osn_kernel::rng::Stream;
+
+    /// Drive a workload outside the engine, simulating outcomes, and
+    /// collect the action sequence.
+    fn drive(mut w: SequoiaWorkload, max_actions: usize) -> Vec<Action> {
+        let mut rng = Stream::new(1, "drive");
+        let mut aspace = AddressSpace::new();
+        let mut outcome = Outcome::Start;
+        let mut actions = Vec::new();
+        for _ in 0..max_actions {
+            let action = {
+                let mut ctx = WorkloadCtx {
+                    now: Nanos(0),
+                    rank: 0,
+                    nranks: 8,
+                    outcome,
+                    rng: &mut rng,
+                    aspace: &aspace,
+                };
+                w.next(&mut ctx)
+            };
+            actions.push(action);
+            outcome = match action {
+                Action::Mmap { backing, pages } => {
+                    Outcome::Mapped(aspace.mmap(backing, pages))
+                }
+                Action::ComputeUntil { .. } => Outcome::Computed { user: Nanos(1) },
+                Action::Read { bytes }
+                | Action::Write { bytes }
+                | Action::WriteBuffered { bytes } => Outcome::IoDone { bytes },
+                Action::Exit => break,
+                _ => Outcome::Done,
+            };
+        }
+        actions
+    }
+
+    #[test]
+    fn amg_sequence_shape() {
+        let p = App::Amg.profile(Nanos::from_millis(400));
+        let w = SequoiaWorkload::new(p);
+        let actions = drive(w, 10_000);
+        assert!(matches!(actions[0], Action::Read { .. }), "{:?}", actions[0]);
+        assert!(matches!(actions.last(), Some(Action::Exit)));
+        // Steady-state faulting: mmap/touch/munmap cycles present.
+        let mmaps = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Mmap { .. }))
+            .count();
+        assert!(mmaps > 2, "AMG must allocate repeatedly, got {mmaps}");
+        let barriers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Barrier))
+            .count();
+        assert!(barriers > 0);
+        // Writeback but no sync I/O in iterations (only the final write).
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::WriteBuffered { .. })));
+    }
+
+    #[test]
+    fn lammps_faults_only_at_edges() {
+        let p = App::Lammps.profile(Nanos::from_millis(400));
+        let w = SequoiaWorkload::new(p);
+        let actions = drive(w, 10_000);
+        let touch_positions: Vec<usize> = actions
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a, Action::Touch { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            touch_positions.len(),
+            2,
+            "LAMMPS touches only init+final: {touch_positions:?}"
+        );
+        assert!(touch_positions[0] < 5, "init touch early");
+        assert!(
+            touch_positions[1] > actions.len() - 6,
+            "final touch late"
+        );
+        // Synchronous writes happen during the run (trajectory dumps).
+        let sync_writes = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Write { .. }))
+            .count();
+        assert!(sync_writes > 1, "LAMMPS dumps trajectories: {sync_writes}");
+    }
+
+    #[test]
+    fn all_apps_terminate() {
+        for app in App::ALL {
+            let p = app.profile(Nanos::from_millis(200));
+            let w = SequoiaWorkload::new(p);
+            let actions = drive(w, 100_000);
+            assert!(
+                matches!(actions.last(), Some(Action::Exit)),
+                "{} did not exit after {} actions",
+                app.name(),
+                actions.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_mmap_is_eventually_unmapped_or_terminal() {
+        let p = App::Umt.profile(Nanos::from_millis(200));
+        let w = SequoiaWorkload::new(p);
+        let actions = drive(w, 100_000);
+        let mmaps = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Mmap { .. }))
+            .count();
+        let munmaps = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Munmap { .. }))
+            .count();
+        // All iteration regions are freed; only the init (and final)
+        // regions persist.
+        assert!(mmaps >= munmaps);
+        assert!(mmaps - munmaps <= 2, "mmaps {mmaps} munmaps {munmaps}");
+    }
+
+    #[test]
+    fn compute_jitter_varies_iterations() {
+        let p = App::Sphot.profile(Nanos::from_millis(400));
+        let w = SequoiaWorkload::new(p);
+        let actions = drive(w, 100_000);
+        let computes: Vec<Nanos> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Compute { work } => Some(*work),
+                _ => None,
+            })
+            .collect();
+        assert!(computes.len() > 2);
+        assert!(
+            computes.windows(2).any(|w| w[0] != w[1]),
+            "no jitter: {computes:?}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! §III-C validation: the same run measured two ways — indirectly by
+//! FTQ (missing operations) and directly by the tracer — plus the real
+//! FTQ benchmark running natively on *this* host.
+//!
+//! ```sh
+//! cargo run --release --example ftq_vs_tracer
+//! ```
+
+use osnoise::core::figures::{fig1_config, run_ftq};
+use osnoise::ftq::native;
+use osnoise::kernel::time::Nanos;
+
+fn main() {
+    // --- simulated FTQ, traced (the paper's Fig 1) ---
+    let (params, node) = fig1_config(2000);
+    let exp = run_ftq(params, node);
+    let (ftq_total, traced_total) = exp.comparison.totals();
+    println!("simulated FTQ, {} quanta of {}:", exp.series.ops.len(), exp.series.quantum);
+    println!("  FTQ estimate {ftq_total} vs traced {traced_total}");
+    println!("  correlation {:.4}", exp.comparison.correlation());
+    println!(
+        "  FTQ >= traced in {:.1}% of quanta (discretization overestimates)",
+        exp.comparison.overestimate_fraction() * 100.0
+    );
+
+    // --- native FTQ on this machine ---
+    println!("\nnative FTQ on this host (500 quanta of 1 ms):");
+    let series = native::run_native(Nanos::from_millis(1), 500);
+    let noise = series.noise_estimate();
+    let total: Nanos = noise.iter().copied().sum();
+    let spikes = series.spikes(Nanos::from_micros(50)).len();
+    println!("  op cost {} | N_max {} ops/quantum", series.op_cost, series.n_max());
+    println!("  estimated host OS noise: {total} total, {spikes} spikes > 50us");
+    println!("  (your host kernel's ticks, IRQs and daemons are in there)");
+}

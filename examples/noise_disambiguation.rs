@@ -1,0 +1,47 @@
+//! §V — noise disambiguation: what the per-event decomposition sees
+//! that indirect benchmarks cannot.
+//!
+//! ```sh
+//! cargo run --release --example noise_disambiguation
+//! ```
+
+use osnoise::core::figures::{fig9_quantum_composites, run_ftq};
+use osnoise::core::{fig10_pairs, run_app, ExperimentConfig};
+use osnoise::ftq::FtqParams;
+use osnoise::kernel::config::NodeConfig;
+use osnoise::kernel::time::Nanos;
+use osnoise::workloads::App;
+
+fn main() {
+    // §V-A: near-identical interruptions, different causes (Fig 10).
+    let run = run_app(ExperimentConfig::paper(App::Amg, Nanos::from_secs(4)));
+    let pairs = fig10_pairs(&run, Nanos(60), 5);
+    println!("== §V-A: qualitatively similar activities (AMG) ==");
+    for p in &pairs {
+        println!(
+            "  {} of {} looks like {} of {} — indirect tools cannot tell",
+            p.a_noise,
+            p.a_class.name(),
+            p.b_noise,
+            p.b_class.name()
+        );
+    }
+
+    // §V-B: one FTQ spike hiding two unrelated events (Fig 9).
+    let params = FtqParams {
+        samples: 2000,
+        quanta_per_page: 9,
+        ..FtqParams::default()
+    };
+    let exp = run_ftq(params, NodeConfig::default().with_horizon(Nanos::from_secs(3)));
+    let folded = fig9_quantum_composites(&exp);
+    println!("\n== §V-B: composite FTQ spikes ==");
+    println!("{} quanta fold 2+ unrelated events into one spike, e.g.:", folded.len());
+    for (q, events) in folded.iter().take(3) {
+        print!("  quantum {q}:");
+        for (class, d) in events {
+            print!(" {}={}", class.name(), d);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: trace one application run and print its noise profile.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use osnoise::analysis::Breakdown;
+use osnoise::core::{run_app, ExperimentConfig};
+use osnoise::kernel::time::Nanos;
+use osnoise::workloads::App;
+
+fn main() {
+    // AMG, 8 ranks on 8 simulated CPUs, 2 simulated seconds.
+    let config = ExperimentConfig::paper(App::Amg, Nanos::from_secs(2));
+    let run = run_app(config);
+
+    println!(
+        "traced {} kernel events over {} ({} lost)",
+        run.trace.len(),
+        run.result.end_time,
+        run.trace.total_lost()
+    );
+
+    // Per-rank noise totals.
+    for tid in &run.ranks {
+        let tn = &run.analysis.tasks[tid];
+        let pct = 100.0 * tn.total_noise().as_nanos() as f64 / tn.runnable_time.as_nanos() as f64;
+        println!(
+            "  {tid}: {} noise in {} interruptions ({pct:.3}% of runnable time)",
+            tn.total_noise(),
+            tn.interruptions.len(),
+        );
+    }
+
+    // The Fig 3 category breakdown.
+    let b = Breakdown::compute(&run.analysis, &run.ranks);
+    println!("\nnoise by category:");
+    for (cat, frac) in b.fractions() {
+        println!("  {:<12} {:>5.1}%", cat.name(), frac * 100.0);
+    }
+    println!(
+        "dominant: {} (AMG is page-fault dominated, as in the paper's Fig 3)",
+        b.dominant().map(|c| c.name()).unwrap_or("none")
+    );
+}

@@ -1,0 +1,32 @@
+//! The paper's full case study: run all five LLNL Sequoia models under
+//! tracing and print Fig 3 plus the per-event statistics tables.
+//!
+//! ```sh
+//! cargo run --release --example sequoia_campaign       # ~10 s of simulated time per app
+//! SECS=30 cargo run --release --example sequoia_campaign
+//! ```
+
+use osnoise::analysis::stats::EventClass;
+use osnoise::core::campaign::{campaign_report, CampaignConfig};
+use osnoise::kernel::time::Nanos;
+
+fn main() {
+    let secs: u64 = std::env::var("SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let config = CampaignConfig::paper(Nanos::from_secs(secs));
+    println!("running {} apps for {}s of simulated time each...", config.apps.len(), secs);
+    let (runs, report) = campaign_report(&config);
+
+    for run in &runs {
+        println!(
+            "  {:<8} {:>9} events, wall {}",
+            run.app.name(),
+            run.trace.len(),
+            run.wall()
+        );
+    }
+
+    println!("\n== Fig 3: OS noise breakdown ==\n{}", report.render_breakdown());
+    println!("== Table I: page faults ==\n{}", report.render_table(EventClass::PageFault));
+    println!("== Table V: timer interrupts ==\n{}", report.render_table(EventClass::TimerInterrupt));
+    println!("== Table VI: run_timer_softirq ==\n{}", report.render_table(EventClass::RunTimerSoftirq));
+}

@@ -1,0 +1,142 @@
+//! Integration tests for the beyond-the-paper extensions: scalability
+//! prediction, noise signatures, the phase-program builder, and the
+//! mitigation knobs — all driven through real traced runs.
+
+use osnoise::analysis::{Breakdown, NoiseAnalysis, NoiseSignature};
+use osnoise::core::{run_app, ExperimentConfig, ScaleModel};
+use osnoise::kernel::activity::NoiseCategory;
+use osnoise::kernel::ids::CpuId;
+use osnoise::kernel::mm::Backing;
+use osnoise::kernel::node::Node;
+use osnoise::kernel::prelude::*;
+use osnoise::kernel::task::SchedClass;
+use osnoise::trace::TraceSession;
+use osnoise::workloads::{App, PhaseProgram};
+
+#[test]
+fn scale_model_amplifies_from_a_real_run() {
+    let run = run_app(ExperimentConfig::paper(App::Amg, Nanos::from_secs(3)));
+    let model = ScaleModel::from_run(&run, Nanos::from_millis(1));
+    assert!(!model.windows.is_empty());
+    let one = model.at(1, 1_000, 7);
+    let big = model.at(4096, 1_000, 7);
+    assert!(one.slowdown >= 1.0);
+    assert!(
+        big.slowdown > one.slowdown,
+        "no amplification: {} vs {}",
+        big.slowdown,
+        one.slowdown
+    );
+    // Coarser granularity amplifies less at the same scale.
+    let coarse = ScaleModel::from_run(&run, Nanos::from_millis(100)).at(4096, 1_000, 7);
+    assert!(coarse.slowdown < big.slowdown);
+    // Efficiency is the reciprocal view.
+    assert!((big.slowdown * big.efficiency - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn signatures_are_stable_across_seeds_but_differ_across_apps() {
+    let sig = |app: App, seed: u64| {
+        let run = run_app(ExperimentConfig::paper(app, Nanos::from_secs(2)).with_seed(seed));
+        NoiseSignature::build(&run.analysis, &run.ranks)
+    };
+    let amg_a = sig(App::Amg, 1);
+    let amg_b = sig(App::Amg, 2);
+    let lammps = sig(App::Lammps, 1);
+    // Same app, different seed: compositions agree closely.
+    let same = amg_a.distance(&amg_b);
+    assert!(same < 0.1, "same-app distance {same}");
+    // Different app: clearly different fingerprint (AMG fault-heavy,
+    // LAMMPS preemption-heavy with few faults).
+    let diff = amg_a.distance(&lammps);
+    assert!(diff > 3.0 * same, "cross-app {diff} vs same-app {same}");
+}
+
+#[test]
+fn phase_program_job_end_to_end() {
+    let program = PhaseProgram::builder()
+        .read(1 << 20)
+        .alloc_touch(Backing::AnonFresh, 200, Nanos(500))
+        .repeat(10, |iter| {
+            iter.alloc_touch_free(Backing::AnonRecycled, 30, Nanos(500))
+                .compute_jittered(Nanos::from_millis(5), 0.05)
+                .write_buffered(16 << 10)
+                .barrier()
+        })
+        .write(256 << 10)
+        .build("custom");
+
+    let mut node = Node::new(
+        NodeConfig::default()
+            .with_cpus(4)
+            .with_seed(99)
+            .with_horizon(Nanos::from_secs(2)),
+    );
+    let job = node.spawn_job(
+        "custom",
+        (0..4).map(|_| Box::new(program.instantiate()) as Box<dyn Workload>).collect(),
+    );
+    let (session, mut tracer) = TraceSession::with_defaults(4);
+    let result = node.run(&mut tracer);
+    let trace = session.stop();
+    assert_eq!(trace.total_lost(), 0);
+    // 200 kept + 10×30 freed pages per rank.
+    assert_eq!(result.stats.faults, 4 * (200 + 300));
+    let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
+    let ranks = result.job_ranks(job);
+    let b = Breakdown::compute(&analysis, &ranks);
+    assert!(b.total_noise > Nanos::ZERO);
+    assert!(analysis.nesting_report.is_clean());
+}
+
+#[test]
+fn idle_core_mitigation_reduces_noise() {
+    let run_with = |nranks: usize, daemon_cpu: Option<CpuId>| {
+        let mut config =
+            ExperimentConfig::paper(App::Lammps, Nanos::from_secs(3)).with_seed(31);
+        config.nranks = nranks;
+        config.node.daemon_cpu = daemon_cpu;
+        if let Some(cpu) = daemon_cpu {
+            config.node.net_irq_cpu = cpu;
+        }
+        let run = run_app(config);
+        Breakdown::compute(&run.analysis, &run.ranks).noise_ratio()
+    };
+    let shared = run_with(8, None);
+    let reserved = run_with(7, Some(CpuId(7)));
+    assert!(
+        reserved < shared,
+        "idle core did not help: {reserved} vs {shared}"
+    );
+}
+
+#[test]
+fn prioritized_ranks_resist_displacement() {
+    let run_with = |class: SchedClass| {
+        let dur = Nanos::from_secs(3);
+        let cfg = NodeConfig::default().with_seed(41).with_horizon(dur * 3);
+        let cpus = cfg.cpus as usize;
+        let mut node = Node::new(cfg);
+        let job = node.spawn_job_with_class(
+            "lammps",
+            osnoise::workloads::ranks(App::Lammps, cpus, dur),
+            class,
+        );
+        let (session, mut tracer) = TraceSession::with_defaults(cpus);
+        let result = node.run(&mut tracer);
+        let trace = session.stop();
+        let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
+        let ranks = result.job_ranks(job);
+        let b = Breakdown::compute(&analysis, &ranks);
+        b.total_noise
+            .as_nanos()
+            .min(u64::MAX) as f64
+            * b.fraction(NoiseCategory::Preemption)
+    };
+    let normal = run_with(SchedClass::Normal);
+    let prioritized = run_with(SchedClass::Daemon);
+    assert!(
+        prioritized < normal,
+        "prioritization did not reduce preemption: {prioritized} vs {normal}"
+    );
+}

@@ -1,0 +1,59 @@
+//! Noise-injection validation: the tracer must measure what we inject
+//! (closing the loop the way Ferreira et al.'s kernel-level injection
+//! does, but with LTTng-noise as the measuring instrument).
+
+use osnoise::analysis::NoiseAnalysis;
+use osnoise::kernel::activity::NoiseCategory;
+use osnoise::kernel::prelude::*;
+use osnoise::trace::TraceSession;
+use osnoise::workloads::{InjectorWorkload, NoiseInjector};
+
+/// Run a compute-bound victim beside an injector on one CPU and
+/// compare measured preemption noise with the injected amount.
+fn measure_injected(fraction: f64, seed: u64) -> (f64, f64) {
+    let horizon = Nanos::from_secs(12);
+    let app_work = Nanos::from_secs(8);
+    let cfg = NodeConfig::default()
+        .with_cpus(1)
+        .with_seed(seed)
+        .with_horizon(horizon);
+    let mut node = Node::new(cfg);
+    let victim = node.spawn_process("victim", Box::new(BusyLoop::new(app_work)));
+    let spec = NoiseInjector::with_fraction(Nanos::from_millis(10), fraction, horizon);
+    node.spawn_process("injector", Box::new(InjectorWorkload::new(spec)));
+    let (session, mut tracer) = TraceSession::with_defaults(1);
+    let result = node.run(&mut tracer);
+    let trace = session.stop();
+    let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
+    let tn = &analysis.tasks[&victim];
+    let preempt = tn
+        .by_category()
+        .get(&NoiseCategory::Preemption)
+        .copied()
+        .unwrap_or(Nanos::ZERO);
+    let measured = preempt.as_nanos() as f64 / tn.runnable_time.as_nanos() as f64;
+    (fraction, measured)
+}
+
+#[test]
+fn measured_preemption_tracks_injected_noise() {
+    for (injected, seed) in [(0.01, 1u64), (0.05, 2), (0.15, 3)] {
+        let (inj, measured) = measure_injected(injected, seed);
+        // The victim is the only other task on the CPU: its preemption
+        // noise fraction should approximate the injected CPU fraction
+        // (within scheduling granularity effects).
+        let rel = (measured - inj).abs() / inj;
+        assert!(
+            rel < 0.5,
+            "injected {inj:.3} but measured {measured:.4} (rel err {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn injection_ordering_is_monotone() {
+    let low = measure_injected(0.01, 7).1;
+    let mid = measure_injected(0.05, 7).1;
+    let high = measure_injected(0.15, 7).1;
+    assert!(low < mid && mid < high, "{low} {mid} {high}");
+}
