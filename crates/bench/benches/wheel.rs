@@ -1,0 +1,66 @@
+//! Event-queue microbenchmarks: heap vs timer wheel at depth.
+//!
+//! Measures one steady-state pop+push pair per iteration against a
+//! queue pre-filled to the target depth (1e5–1e7 pending entries).
+//! The engine's own pending set is tiny (~20 entries on the paper
+//! config — see `engine_throughput`), so this is where the heap's
+//! O(log n) and the wheel's O(1) amortized costs actually separate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use osn_kernel::time::Nanos;
+use osn_kernel::wheel::{EventQueue, HeapQueue, TimerWheel};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deltas up to ~16 ms spread entries across every wheel level below
+/// overflow.
+const DELTA_MASK: u64 = (1 << 24) - 1;
+
+fn fill<Q: EventQueue<u64>>(queue: &mut Q, depth: u64, rng: &mut SmallRng, seq: &mut u64) {
+    for _ in 0..depth {
+        *seq += 1;
+        queue.push(Nanos(rng.gen::<u64>() & DELTA_MASK), *seq, *seq);
+    }
+}
+
+fn bench_queues(c: &mut Criterion) {
+    for depth in [100_000u64, 1_000_000, 10_000_000] {
+        let mut group = c.benchmark_group(&format!("queue/depth_{depth}"));
+        // One pop + one push per iteration.
+        group.throughput(Throughput::Elements(2));
+
+        let mut rng = SmallRng::seed_from_u64(0xD1CE);
+        let mut seq = 0u64;
+        let mut heap = HeapQueue::new();
+        fill(&mut heap, depth, &mut rng, &mut seq);
+        group.bench_function("heap_hold", |b| {
+            b.iter(|| {
+                let (t, _, _) = heap.pop().expect("drained");
+                seq += 1;
+                heap.push(Nanos(t.0 + (rng.gen::<u64>() & DELTA_MASK)), seq, seq);
+                t
+            })
+        });
+        drop(heap);
+
+        let mut rng = SmallRng::seed_from_u64(0xD1CE);
+        let mut seq = 0u64;
+        let mut wheel = TimerWheel::new();
+        fill(&mut wheel, depth, &mut rng, &mut seq);
+        group.bench_function("wheel_hold", |b| {
+            b.iter(|| {
+                let (t, _, _) = wheel.pop().expect("drained");
+                seq += 1;
+                wheel.push(Nanos(t.0 + (rng.gen::<u64>() & DELTA_MASK)), seq, seq);
+                t
+            })
+        });
+        drop(wheel);
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,260 @@
+//! Engine throughput: heap vs wheel events/sec over the paper campaign.
+//!
+//! For every Sequoia app this runs the paper node configuration
+//! (untraced, `NullProbe` — pure engine speed, no tracer cost in the
+//! numerator) under both `QueueKind::Heap` and `QueueKind::Wheel` in
+//! the same process, at one or more simulated durations, and writes
+//! `BENCH_PR1.json` at the repo root with per-app events/sec, on-CPU
+//! times and the wheel/heap speedup. Both queues must dispatch the
+//! *same* number of events (the ordering contract) — the binary
+//! asserts that, so a throughput run doubles as a cheap differential
+//! check.
+//!
+//! A second section sweeps raw queue ops at 1e5–1e7 pending entries,
+//! where the O(log n) heap and the O(1) wheel actually separate.
+//!
+//! Knobs: `OSN_SECS` — simulated seconds per app run (default 10;
+//! below ~5 the per-run times are too short to time reliably);
+//! `OSN_REPS` — timed repetitions per configuration, best time kept
+//! (default 3).
+
+use std::time::Instant;
+
+use osn_core::ExperimentConfig;
+use osn_kernel::config::QueueKind;
+use osn_kernel::hooks::NullProbe;
+use osn_kernel::node::Node;
+use osn_kernel::time::Nanos;
+use osn_workloads::App;
+
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppRow {
+    app: String,
+    sim_secs: u64,
+    /// Events dispatched by the main loop (identical for both queues).
+    events: u64,
+    /// Of those, stale `Advance` pops — dead queue traffic.
+    stale_events: u64,
+    /// Best-of-reps on-CPU seconds (see `on_cpu_secs`).
+    heap_cpu_s: f64,
+    wheel_cpu_s: f64,
+    heap_events_per_sec: f64,
+    wheel_events_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct DepthRow {
+    /// Pending entries held in the queue during the hold phase.
+    depth: u64,
+    /// Million queue ops (push or pop) per on-CPU second.
+    heap_mops: f64,
+    wheel_mops: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    reps: usize,
+    /// Whole-engine runs: the queue is one term of the per-event cost
+    /// (the paper config holds only ~20 pending events), so this
+    /// speedup is much smaller than the queue-level one below.
+    apps: Vec<AppRow>,
+    /// Total events over total on-CPU time, wheel vs heap.
+    aggregate_speedup: f64,
+    /// Raw queue ops at depth — where the O(log n) vs O(1) asymptotics
+    /// actually separate. Fill to `depth`, then a steady-state
+    /// pop+push hold phase, timed together.
+    queue_depth: Vec<DepthRow>,
+}
+
+/// Nanoseconds this thread has been on-CPU, from
+/// `/proc/thread-self/schedstat`. Unlike wall time this is unaffected
+/// by preemption, so the numbers stay meaningful on a loaded or
+/// oversubscribed host.
+fn on_cpu_ns() -> Option<u64> {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next()?.parse().ok())
+}
+
+/// Time a closure, preferring on-CPU seconds over wall seconds. The
+/// scheduler only folds runtime into schedstat at ticks and context
+/// switches, so below ~20 ms the on-CPU figure is quantization noise —
+/// fall back to wall time there (and wherever schedstat is missing).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let wall = Instant::now();
+    let cpu0 = on_cpu_ns();
+    let out = f();
+    let cpu = cpu0
+        .zip(on_cpu_ns())
+        .map(|(a, b)| b.saturating_sub(a) as f64 / 1e9);
+    let wall = wall.elapsed().as_secs_f64();
+    match cpu {
+        Some(c) if c >= 0.02 => (c, out),
+        _ => (wall, out),
+    }
+}
+
+/// One timed run: paper config for `app`, chosen queue, no tracer.
+/// Returns (on-CPU seconds, loop events, stale advance pops).
+fn timed_run(app: App, sim: Nanos, seed: u64, queue: QueueKind) -> (f64, u64, u64) {
+    let config = ExperimentConfig::paper(app, sim).with_seed(seed);
+    let mut node = Node::new(config.node.clone().with_queue(queue));
+    node.spawn_job(
+        config.app.name(),
+        osn_workloads::ranks(config.app, config.nranks, config.duration),
+    );
+    for (i, helper) in osn_workloads::helpers(config.app, config.duration)
+        .into_iter()
+        .enumerate()
+    {
+        node.spawn_process(&format!("python.{i}"), helper);
+    }
+    let (secs, result) = timed(|| node.run(&mut NullProbe));
+    (secs, result.stats.loop_events, result.stats.stale_advances)
+}
+
+/// splitmix64: deterministic delta stream for the depth sweep.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Queue ops/sec at a given pending depth: fill with `depth` entries
+/// (deltas spread over ~16 ms so every wheel level below overflow is
+/// exercised), then `hold_ops` steady-state pop+push pairs. Returns
+/// million ops per on-CPU second over both phases.
+fn depth_mops<Q: osn_kernel::wheel::EventQueue<u64>>(
+    queue: &mut Q,
+    depth: u64,
+    hold_ops: u64,
+) -> f64 {
+    const DELTA_MASK: u64 = (1 << 24) - 1;
+    let mut rng = 0xD1CEu64;
+    let mut seq = 0u64;
+    let (secs, clock) = timed(|| {
+        for _ in 0..depth {
+            seq += 1;
+            queue.push(Nanos(splitmix64(&mut rng) & DELTA_MASK), seq, seq);
+        }
+        let mut clock = 0u64;
+        for _ in 0..hold_ops {
+            let (t, _, _) = queue.pop().expect("queue drained during hold");
+            clock = t.0;
+            seq += 1;
+            queue.push(Nanos(clock + (splitmix64(&mut rng) & DELTA_MASK)), seq, seq);
+        }
+        clock
+    });
+    std::hint::black_box(clock);
+    (depth + 2 * hold_ops) as f64 / secs / 1e6
+}
+
+fn main() {
+    let sim_secs: u64 = std::env::var("OSN_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+        .max(1);
+    let reps: usize = std::env::var("OSN_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let seed = 0x0511_2011u64;
+    let sim = Nanos::from_secs(sim_secs);
+
+    let mut apps = Vec::new();
+    let (mut tot_heap_cpu, mut tot_wheel_cpu, mut tot_events) = (0.0f64, 0.0f64, 0u64);
+    for &app in App::ALL.iter() {
+        // Warm-up (page in code + allocator), then timed reps of each
+        // queue interleaved so neither side owns the warmer cache.
+        let (_, ev_heap, stale) = timed_run(app, sim, seed, QueueKind::Heap);
+        let (_, ev_wheel, _) = timed_run(app, sim, seed, QueueKind::Wheel);
+        assert_eq!(
+            ev_heap, ev_wheel,
+            "{}: heap and wheel dispatched different event counts",
+            app.name()
+        );
+        let mut heap_cpu = f64::INFINITY;
+        let mut wheel_cpu = f64::INFINITY;
+        for _ in 0..reps {
+            let (w, ev, _) = timed_run(app, sim, seed, QueueKind::Heap);
+            assert_eq!(ev, ev_heap);
+            heap_cpu = heap_cpu.min(w);
+            let (w, ev, _) = timed_run(app, sim, seed, QueueKind::Wheel);
+            assert_eq!(ev, ev_wheel);
+            wheel_cpu = wheel_cpu.min(w);
+        }
+        let events = ev_heap;
+        let row = AppRow {
+            app: app.name().to_string(),
+            sim_secs,
+            events,
+            stale_events: stale,
+            heap_cpu_s: heap_cpu,
+            wheel_cpu_s: wheel_cpu,
+            heap_events_per_sec: events as f64 / heap_cpu,
+            wheel_events_per_sec: events as f64 / wheel_cpu,
+            speedup: heap_cpu / wheel_cpu,
+        };
+        println!(
+            "{:>10}: {:>9} events  heap {:>8.1} kev/s  wheel {:>8.1} kev/s  speedup {:.2}x",
+            row.app,
+            row.events,
+            row.heap_events_per_sec / 1e3,
+            row.wheel_events_per_sec / 1e3,
+            row.speedup
+        );
+        tot_heap_cpu += heap_cpu;
+        tot_wheel_cpu += wheel_cpu;
+        tot_events += events;
+        apps.push(row);
+    }
+
+    let mut queue_depth = Vec::new();
+    for depth in [100_000u64, 1_000_000, 10_000_000] {
+        let hold = 1_000_000u64.min(depth * 10);
+        let mut heap = osn_kernel::wheel::HeapQueue::new();
+        let heap_mops = depth_mops(&mut heap, depth, hold);
+        drop(heap);
+        let mut wheel = osn_kernel::wheel::TimerWheel::new();
+        let wheel_mops = depth_mops(&mut wheel, depth, hold);
+        drop(wheel);
+        let row = DepthRow {
+            depth,
+            heap_mops,
+            wheel_mops,
+            speedup: wheel_mops / heap_mops,
+        };
+        println!(
+            "depth {:>9}: heap {:>6.1} Mops/s  wheel {:>6.1} Mops/s  speedup {:.2}x",
+            row.depth, row.heap_mops, row.wheel_mops, row.speedup
+        );
+        queue_depth.push(row);
+    }
+
+    let report = Report {
+        seed,
+        reps,
+        apps,
+        aggregate_speedup: tot_heap_cpu / tot_wheel_cpu,
+        queue_depth,
+    };
+    println!(
+        "aggregate: {} events, heap {:.2}s vs wheel {:.2}s -> {:.2}x",
+        tot_events, tot_heap_cpu, tot_wheel_cpu, report.aggregate_speedup
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    std::fs::write(path, serde_json::to_vec(&report).expect("serializable"))
+        .expect("write BENCH_PR1.json");
+    println!("wrote {path}");
+}

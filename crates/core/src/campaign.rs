@@ -43,22 +43,46 @@ impl CampaignConfig {
     }
 }
 
-/// Run every app of the campaign, one host thread per app (the
-/// simulations are independent nodes).
+/// Run every app of the campaign in parallel (the simulations are
+/// independent nodes), on at most `available_parallelism()` host
+/// threads: workers pull the next app index off a shared counter, so a
+/// campaign larger than the host never oversubscribes it. Results come
+/// back in `config.apps` order regardless of completion order.
 pub fn run_campaign(config: &CampaignConfig) -> Vec<AppRun> {
-    let mut runs: Vec<Option<AppRun>> = Vec::new();
-    runs.resize_with(config.apps.len(), || None);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let napps = config.apps.len();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(napps)
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, AppRun)>();
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for app in &config.apps {
-            let exp = config.experiment(*app);
-            handles.push(scope.spawn(move || run_app(exp)));
-        }
-        for (slot, handle) in runs.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("app run panicked"));
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= napps {
+                    break;
+                }
+                let exp = config.experiment(config.apps[idx]);
+                if tx.send((idx, run_app(exp))).is_err() {
+                    break;
+                }
+            });
         }
     });
-    runs.into_iter().map(|r| r.expect("filled")).collect()
+    drop(tx);
+    let mut runs: Vec<Option<AppRun>> = Vec::new();
+    runs.resize_with(napps, || None);
+    for (idx, run) in rx {
+        runs[idx] = Some(run);
+    }
+    runs.into_iter().map(|r| r.expect("worker panicked")).collect()
 }
 
 /// Convenience: run the campaign and build the paper report.

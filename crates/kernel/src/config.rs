@@ -8,6 +8,22 @@ use crate::net::NfsModel;
 use crate::sched::SchedParams;
 use crate::time::Nanos;
 
+/// Which future-event-set implementation the engine runs on.
+///
+/// Both yield bit-identical event order (ascending `(time, seq)`), so
+/// simulation results do not depend on this choice — the heap stays
+/// available for differential testing and as the reference
+/// implementation for the wheel's ordering contract.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel (`crate::wheel`): O(1) amortized push,
+    /// bitmap-indexed pop. The default.
+    #[default]
+    Wheel,
+    /// `BinaryHeap`-based queue: O(log n) push/pop reference.
+    Heap,
+}
+
 /// Full configuration of a simulated compute node.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NodeConfig {
@@ -56,6 +72,9 @@ pub struct NodeConfig {
     /// Extra rpciod nanoseconds per KiB of RPC payload (copy to the
     /// transmit path).
     pub rpciod_ns_per_kib: f64,
+    /// Event queue implementation (result-identical either way; see
+    /// [`QueueKind`]).
+    pub queue: QueueKind,
 }
 
 impl Default for NodeConfig {
@@ -77,6 +96,7 @@ impl Default for NodeConfig {
             events_work: Nanos::from_micros(2),
             rpciod_work_per_rpc: Nanos::from_micros(5),
             rpciod_ns_per_kib: 40.0,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -100,6 +120,11 @@ impl NodeConfig {
 
     pub fn with_probe_overhead(mut self, overhead: Nanos) -> Self {
         self.probe_overhead = overhead;
+        self
+    }
+
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }

@@ -17,9 +17,6 @@
 //! and I/O syscall → rpciod wakeup → `net_tx_action` → response IRQ →
 //! `net_rx_action` → wakeup on the IRQ CPU → preemption there.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::activity::{Activity, SchedPart, SoftirqVec, SyscallKind};
 use crate::config::NodeConfig;
 use crate::hooks::{Probe, SwitchState};
@@ -28,6 +25,7 @@ use crate::mm::Backing;
 use crate::net::{NfsModel, Rpc, RpcOp, RpcState};
 use crate::rng::Stream;
 use crate::sched::CfsRq;
+use crate::wheel::Queue;
 use crate::softirq::SoftirqPending;
 use crate::task::{BlockReason, Body, Progress, Task, TaskMeta, TaskState};
 use crate::time::Nanos;
@@ -149,29 +147,6 @@ enum Ev {
     Advance { cpu: CpuId, gen: u64 },
 }
 
-struct Scheduled {
-    t: Nanos,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-
 /// Aggregate counters the engine keeps for sanity checks and reports.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct NodeStats {
@@ -186,6 +161,14 @@ pub struct NodeStats {
     pub net_irqs: u64,
     pub syscalls: u64,
     pub events_processed: u64,
+    /// Simulation events dispatched by the main loop (queue pops,
+    /// including stale ones) — the denominator for engine-throughput
+    /// measurements.
+    pub loop_events: u64,
+    /// Popped `Advance` events whose generation was already
+    /// invalidated — pure queue overhead, counted to size the cost of
+    /// the re-arm-on-every-event scheduling strategy.
+    pub stale_advances: u64,
 }
 
 /// Result of a completed run.
@@ -213,7 +196,10 @@ impl RunResult {
 pub struct Node {
     cfg: NodeConfig,
     clock: Nanos,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Future-event set; implementation chosen by `cfg.queue`, with an
+    /// ordering contract that makes the choice result-invisible.
+    queue: Queue<Ev>,
+    /// Monotonic push counter: the FIFO tie-break for same-time events.
     seq: u64,
     cpus: Vec<Cpu>,
     tasks: Vec<Task>,
@@ -246,19 +232,20 @@ impl Node {
         assert!(cfg.cpus > 0, "need at least one CPU");
         let seed = cfg.seed;
         let cfg_cpus = cfg.cpus;
+        let queue_kind = cfg.queue;
         let cpus = (0..cfg.cpus).map(|i| Cpu::new(CpuId(i))).collect();
         let nfs = cfg.nfs.clone();
         let mut node = Node {
             cfg,
             clock: Nanos::ZERO,
-            queue: BinaryHeap::new(),
+            queue: Queue::new(queue_kind),
             seq: 0,
             cpus,
             tasks: Vec::new(),
             jobs: Vec::new(),
             rpc: RpcState::new(),
             nfs,
-            pending_responses: Vec::new(),
+            pending_responses: Vec::with_capacity(32),
             events_backlog: vec![0; cfg_cpus as usize],
             events_tids: Vec::new(),
             rpciod_tid: Tid(0),
@@ -344,28 +331,23 @@ impl Node {
                 cpu,
                 rng,
             ));
-            {
+            // Set class/rank and enqueue on the home CPU in one pass so
+            // the rank list can move into the job without a clone.
+            let (vr, weight) = {
                 let task = self.task_mut(tid);
                 task.rank = i as u32;
                 task.class = class;
-            }
+                task.on_rq = true;
+                (task.vruntime, task.class.weight())
+            };
+            self.cpus[cpu.index()].rq.enqueue(vr, tid, weight);
             ranks.push(tid);
             self.live_apps += 1;
         }
         self.jobs.push(Job {
-            ranks: ranks.clone(),
+            ranks,
             waiting: Vec::new(),
         });
-        // Enqueue each rank on its CPU.
-        for tid in ranks {
-            let cpu = self.task(tid).cpu;
-            let (vr, weight) = {
-                let t = self.task(tid);
-                (t.vruntime, t.class.weight())
-            };
-            self.cpus[cpu.index()].rq.enqueue(vr, tid, weight);
-            self.task_mut(tid).on_rq = true;
-        }
         job_id
     }
 
@@ -413,11 +395,7 @@ impl Node {
 
     fn push_ev(&mut self, t: Nanos, ev: Ev) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            t,
-            seq: self.seq,
-            ev,
-        }));
+        self.queue.push(t, self.seq, ev);
     }
 
     // ----- core time-keeping -------------------------------------------------
@@ -1014,7 +992,7 @@ impl Node {
         let ti = target.index();
         // Target CPU state must be current before we mutate its queue.
         self.sync_cpu(ti, t);
-        let params = self.cfg.sched.clone();
+        let params = self.cfg.sched;
         let placed = {
             let vr = self.task(tid).vruntime;
             self.cpus[ti].rq.place_waking(vr, &params)
@@ -1617,12 +1595,13 @@ impl Node {
             self.cpus[i].advance_gen += 1;
         }
 
-        while let Some(Reverse(Scheduled { t, ev, .. })) = self.queue.pop() {
+        while let Some((t, _seq, ev)) = self.queue.pop() {
             if t > self.cfg.horizon {
                 self.clock = self.cfg.horizon;
                 break;
             }
             self.clock = t;
+            self.stats.loop_events += 1;
             match ev {
                 Ev::Tick { cpu } => {
                     let ci = cpu.index();
@@ -1673,6 +1652,7 @@ impl Node {
                 Ev::Advance { cpu, gen } => {
                     let ci = cpu.index();
                     if gen != self.cpus[ci].advance_gen {
+                        self.stats.stale_advances += 1;
                         continue; // stale
                     }
                     self.sync_cpu(ci, t);
@@ -1712,7 +1692,8 @@ impl Node {
         RunResult {
             end_time,
             tasks,
-            stats: self.stats.clone(),
+            // Counters move to the result; the node is done after run().
+            stats: std::mem::take(&mut self.stats),
         }
     }
 

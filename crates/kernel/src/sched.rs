@@ -15,8 +15,10 @@ use serde::{Deserialize, Serialize};
 use crate::ids::Tid;
 use crate::time::Nanos;
 
-/// Scheduler tunables (2.6.3x-flavoured defaults).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// Scheduler tunables (2.6.3x-flavoured defaults). `Copy`: five plain
+/// scalars, cheaper to copy per wakeup than to clone behind the
+/// borrow checker.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct SchedParams {
     /// Targeted scheduling period: every runnable task should run once
     /// per this interval when the queue is short.

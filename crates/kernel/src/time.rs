@@ -62,12 +62,21 @@ impl Nanos {
 
     /// Construct from a floating-point number of nanoseconds, rounding
     /// to the nearest integer nanosecond and clamping at zero.
+    ///
+    /// Round-half-away-from-zero, spelled as truncate-and-adjust:
+    /// `f64::round` lowers to a libm call on baseline x86-64 (no
+    /// SSE4.1) and this conversion sits under every cost-model sample.
     #[inline]
     pub fn from_nanos_f64(ns: f64) -> Self {
         if ns <= 0.0 {
             Nanos(0)
         } else {
-            Nanos(ns.round() as u64)
+            let t = ns as u64; // truncates toward zero, saturating
+            if ns - t as f64 >= 0.5 {
+                Nanos(t.saturating_add(1))
+            } else {
+                Nanos(t)
+            }
         }
     }
 

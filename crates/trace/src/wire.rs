@@ -158,11 +158,16 @@ fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
     })
 }
 
-/// Serialize a trace to bytes.
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        MAGIC.len() + 8 + trace.lost.len() * 8 + 8 + trace.events.len() * RECORD_BYTES,
-    );
+/// Exact number of bytes [`encode`] produces for `trace`.
+pub fn encoded_len(trace: &Trace) -> usize {
+    MAGIC.len() + 8 + trace.lost.len() * 8 + 8 + trace.events.len() * RECORD_BYTES
+}
+
+/// Append the full wire image of `trace` to `buf` (header, lost
+/// counters, then every record batched in one pass). Reserves the
+/// exact size up front so the emission loop never reallocates.
+pub fn encode_into(trace: &Trace, buf: &mut BytesMut) {
+    buf.reserve(encoded_len(trace));
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(trace.lost.len() as u32);
@@ -171,9 +176,27 @@ pub fn encode(trace: &Trace) -> Bytes {
     }
     buf.put_u64_le(trace.events.len() as u64);
     for e in &trace.events {
-        encode_record(&mut buf, e);
+        encode_record(buf, e);
     }
-    buf.freeze()
+}
+
+/// Serialize a trace to bytes.
+///
+/// Batches the whole emission through a thread-local scratch
+/// [`BytesMut`]: repeated encodes on one thread (campaign loops,
+/// benchmarks) recycle the scratch's capacity instead of growing a
+/// fresh buffer each call.
+pub fn encode(trace: &Trace) -> Bytes {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<BytesMut> =
+            std::cell::RefCell::new(BytesMut::new());
+    }
+    SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        debug_assert!(buf.is_empty(), "scratch left dirty by a previous encode");
+        encode_into(trace, &mut buf);
+        buf.split().freeze()
+    })
 }
 
 /// Deserialize a trace from bytes.

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Smoke check for the simulator's performance trajectory: build, run
+# the test suite, then a short engine-throughput run that regenerates
+# BENCH_PR1.json (per-app events/sec heap vs wheel, plus the
+# queue-depth sweep). Intended for CI and for a quick local sanity run
+# after touching the engine hot path.
+#
+# Knobs are forwarded to engine_throughput: OSN_SECS (default 5 here —
+# short but long enough that per-run timing is meaningful), OSN_REPS.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+
+OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
+    cargo run --release -p osn-bench --bin engine_throughput
+
+echo "bench_smoke: OK (see BENCH_PR1.json)"

@@ -112,9 +112,9 @@ fn idle_core_mitigation_reduces_noise() {
 
 #[test]
 fn prioritized_ranks_resist_displacement() {
-    let run_with = |class: SchedClass| {
+    let run_with = |class: SchedClass, seed: u64| {
         let dur = Nanos::from_secs(3);
-        let cfg = NodeConfig::default().with_seed(41).with_horizon(dur * 3);
+        let cfg = NodeConfig::default().with_seed(seed).with_horizon(dur * 3);
         let cpus = cfg.cpus as usize;
         let mut node = Node::new(cfg);
         let job = node.spawn_job_with_class(
@@ -133,8 +133,11 @@ fn prioritized_ranks_resist_displacement() {
             .min(u64::MAX) as f64
             * b.fraction(NoiseCategory::Preemption)
     };
-    let normal = run_with(SchedClass::Normal);
-    let prioritized = run_with(SchedClass::Daemon);
+    // A single seed's margin is within timing-butterfly noise; compare
+    // the average preemption noise across a few seeds instead.
+    let seeds = [41u64, 42, 43];
+    let normal: f64 = seeds.iter().map(|&s| run_with(SchedClass::Normal, s)).sum();
+    let prioritized: f64 = seeds.iter().map(|&s| run_with(SchedClass::Daemon, s)).sum();
     assert!(
         prioritized < normal,
         "prioritization did not reduce preemption: {prioritized} vs {normal}"

@@ -156,7 +156,7 @@ fn probe_overhead_experiment_is_sub_percent() {
     // A single traced-vs-untraced comparison is dominated by timing
     // butterfly effects; average a few seeds, as the paper's multi-app
     // average does.
-    let seeds = [11u64, 12, 13, 14];
+    let seeds = [11u64, 12, 13, 14, 15, 16, 17, 18];
     let report = measure_overhead_avg(&config.node, LTTNG_CLASS_OVERHEAD, &seeds, |node_cfg| {
         let mut node = Node::new(node_cfg);
         node.spawn_job(

@@ -1,0 +1,114 @@
+//! Differential oracle for the timer-wheel event queue.
+//!
+//! The wheel's contract is that it is *observationally identical* to
+//! the reference `BinaryHeap` queue: same `(t, seq)` pop order for any
+//! causally-valid push/pop interleaving, and therefore bit-identical
+//! traces and statistics for whole simulated campaigns. Both halves
+//! are checked here — a property-based lockstep oracle on the queue
+//! itself, and an end-to-end heap-vs-wheel run of the paper setup.
+
+use osnoise::core::{run_app, ExperimentConfig};
+use osnoise::kernel::config::QueueKind;
+use osnoise::kernel::time::Nanos;
+use osnoise::kernel::wheel::{EventQueue, HeapQueue, TimerWheel};
+use osnoise::workloads::App;
+
+use proptest::prelude::*;
+
+/// One scripted queue operation. Pushes carry a delta class so the
+/// generated times exercise every wheel level plus the overflow list;
+/// the concrete time is `clock + delta`, keeping causality (no pushes
+/// below the last pop) the same way the engine does.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Push { delta: u64 },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Heavier on pushes so queues grow deep enough to cascade.
+        1 => Just(Op::Pop),
+        1 => (0u64..4u64).prop_map(|_| Op::Pop),
+        1 => Just(Op::Push { delta: 0 }), // same-time: seq tie-break
+        2 => (1u64..1024).prop_map(|delta| Op::Push { delta }),
+        2 => (1024u64..65_536).prop_map(|delta| Op::Push { delta }),
+        2 => (65_536u64..4_194_304).prop_map(|delta| Op::Push { delta }),
+        2 => (4_194_304u64..1 << 32).prop_map(|delta| Op::Push { delta }),
+        1 => ((1u64 << 40)..(1u64 << 47)).prop_map(|delta| Op::Push { delta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lockstep oracle: run the same op script against the wheel and
+    /// the heap; every pop must agree exactly, including `None`s.
+    #[test]
+    fn wheel_matches_heap_for_arbitrary_scripts(
+        ops in prop::collection::vec(op_strategy(), 0..600)
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut heap = HeapQueue::new();
+        let mut clock = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Push { delta } => {
+                    seq += 1;
+                    let t = Nanos(clock + delta);
+                    wheel.push(t, seq, seq);
+                    heap.push(t, seq, seq);
+                }
+                Op::Pop => {
+                    let w = wheel.pop();
+                    let h = heap.pop();
+                    prop_assert_eq!(&w, &h, "pop diverged at clock {}", clock);
+                    if let Some((t, _, _)) = w {
+                        clock = t.0;
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both to the end: the tail order must agree too.
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            prop_assert_eq!(&w, &h, "drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// End-to-end determinism: the paper experiment produces bit-identical
+/// traces, task tables, and statistics whichever queue drives it.
+#[test]
+fn heap_and_wheel_runs_are_bit_identical() {
+    let run_with = |queue: QueueKind| {
+        let mut config =
+            ExperimentConfig::paper(App::Amg, Nanos::from_secs(1)).with_seed(0xC0FFEE);
+        config.node.queue = queue;
+        run_app(config)
+    };
+    let wheel = run_with(QueueKind::Wheel);
+    let heap = run_with(QueueKind::Heap);
+
+    assert_eq!(wheel.result.end_time, heap.result.end_time);
+    assert_eq!(wheel.trace.events.len(), heap.trace.events.len());
+    assert_eq!(wheel.trace.events, heap.trace.events, "traces diverge");
+    assert_eq!(wheel.ranks, heap.ranks);
+    // NodeStats has no PartialEq; its JSON image is a faithful stand-in.
+    assert_eq!(
+        serde_json::to_string(&wheel.result.stats).unwrap(),
+        serde_json::to_string(&heap.result.stats).unwrap(),
+        "statistics diverge"
+    );
+    assert_eq!(
+        serde_json::to_string(&wheel.result.tasks).unwrap(),
+        serde_json::to_string(&heap.result.tasks).unwrap(),
+        "task tables diverge"
+    );
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for `crossbeam`: only `utils::CachePadded`, which
+//! is what the trace ring buffer uses to keep producer and consumer
+//! cursors on separate cache lines.
+
+pub mod utils {
+    use core::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) one cache line. 128 bytes
+    /// covers the adjacent-line prefetcher on modern x86 and the large
+    /// line sizes on some aarch64 parts — same choice as upstream.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        #[inline]
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        #[inline]
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        #[inline]
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        #[inline]
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn padded_is_aligned_and_transparent() {
+            let p = CachePadded::new(42u64);
+            assert_eq!(*p, 42);
+            assert_eq!(core::mem::align_of::<CachePadded<u64>>(), 128);
+            assert_eq!(p.into_inner(), 42);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: `SmallRng` (here a
+//! xoshiro256++ generator, the same family the real 0.8 `SmallRng`
+//! uses on 64-bit targets), `SeedableRng::seed_from_u64`, `RngCore`,
+//! and the `Rng` convenience methods `gen::<f64>()` / `gen_range`.
+//!
+//! Determinism is the only contract the simulator relies on (streams
+//! are compared run-to-run, never against the upstream crate), so
+//! bit-compatibility with upstream `rand` is explicitly *not* a goal.
+
+pub mod rngs {
+    /// A small, fast, non-cryptographic PRNG (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro
+            // authors for seeding from a single word.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        #[inline]
+        pub(crate) fn next(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Core generator interface (subset).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl RngCore for rngs::SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Seeding interface (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64_seed(seed)
+    }
+}
+
+mod sealed {
+    /// Types `Rng::gen` can produce.
+    pub trait Sample: Sized {
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Sample for f64 {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> f64 {
+            // 53 random mantissa bits in [0, 1), as upstream does.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Sample for f32 {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Sample for u64 {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Sample for u32 {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Sample for bool {
+        #[inline]
+        fn sample<R: super::RngCore + ?Sized>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Integer types `Rng::gen_range` supports.
+    pub trait RangeSample: Copy + PartialOrd {
+        fn range<R: super::RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                #[inline]
+                fn range<R: super::RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as u128) - (lo as u128);
+                    // Widening-multiply rejection-free mapping (Lemire,
+                    // without the rejection pass: bias < 2^-64, far
+                    // below anything a simulation can observe).
+                    let x = rng.next_u64() as u128;
+                    lo + ((x * span) >> 64) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_uint!(u8, u16, u32, u64, usize);
+}
+
+/// Convenience sampling methods (subset).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: sealed::Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T: sealed::RangeSample>(&mut self, range: std::ops::Range<T>) -> T {
+        T::range(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::SmallRng::seed_from_u64(42);
+        let mut b = rngs::SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rngs::SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = r.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = rngs::SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
