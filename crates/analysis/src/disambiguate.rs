@@ -150,15 +150,11 @@ mod tests {
             task: Tid(1),
             start: Nanos(start),
             end: Nanos(start + total),
-            components: comps
-                .into_iter()
-                .map(|(c, d)| (c, Nanos(d)))
-                .collect(),
+            components: comps.into_iter().map(|(c, d)| (c, Nanos(d))).collect(),
         }
     }
 
-    const FAULT: Component =
-        Component::Activity(Activity::PageFault(FaultKind::AnonZero));
+    const FAULT: Component = Component::Activity(Activity::PageFault(FaultKind::AnonZero));
     const TIMER: Component = Component::Activity(Activity::TimerInterrupt);
     const TSOFT: Component = Component::Activity(Activity::Softirq(SoftirqVec::Timer));
 
@@ -230,9 +226,7 @@ mod tests {
                     300,
                 ),
                 (
-                    Component::Activity(Activity::Schedule(
-                        osn_kernel::activity::SchedPart::After,
-                    )),
+                    Component::Activity(Activity::Schedule(osn_kernel::activity::SchedPart::After)),
                     300,
                 ),
                 (FAULT, 400),

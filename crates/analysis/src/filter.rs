@@ -114,9 +114,9 @@ pub fn interruptions_containing<'a>(
     interruptions
         .iter()
         .filter(|i| {
-            i.components.iter().any(|(c, _)| {
-                matches!(c, crate::noise::Component::Activity(a) if pred(*a))
-            })
+            i.components
+                .iter()
+                .any(|(c, _)| matches!(c, crate::noise::Component::Activity(a) if pred(*a)))
         })
         .copied()
         .collect()
@@ -142,13 +142,7 @@ mod tests {
     fn dataset() -> Vec<ActivityInstance> {
         vec![
             inst(100, 0, 1, Activity::TimerInterrupt, 2000),
-            inst(
-                200,
-                0,
-                1,
-                Activity::PageFault(FaultKind::AnonZero),
-                3000,
-            ),
+            inst(200, 0, 1, Activity::PageFault(FaultKind::AnonZero), 3000),
             inst(300, 1, 2, Activity::PageFault(FaultKind::Cow), 500),
             inst(400, 1, 2, Activity::NetworkInterrupt, 1500),
         ]

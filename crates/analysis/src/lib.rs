@@ -17,6 +17,7 @@ pub mod filter;
 pub mod histogram;
 pub mod nesting;
 pub mod noise;
+pub mod par;
 pub mod report;
 pub mod signature;
 pub mod stats;
@@ -27,6 +28,9 @@ pub use chart::{ChartPoint, NoiseChart};
 pub use histogram::Histogram;
 pub use nesting::{ActivityInstance, NestingReport};
 pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};
+pub use par::{default_workers, parallel_map};
 pub use signature::{Drift, NoiseSignature, SignatureEntry};
-pub use stats::{class_samples, class_samples_timed, class_stats, EventClass, EventStats};
+pub use stats::{
+    class_samples, class_samples_timed, class_stats, job_stats, EventClass, EventStats, JobStats,
+};
 pub use timeline::{Phase, PhaseSpan, TaskTimeline, Timelines};

@@ -72,11 +72,206 @@ struct OpenFrame {
     depth: u16,
 }
 
-/// Reconstruct all activity instances from a trace.
+/// Sentinel `end` of an instance slot whose frame is still open (or was
+/// dropped by a mismatched exit / never closed). Far beyond any real
+/// trace timestamp.
+const PENDING: Nanos = Nanos(u64::MAX);
+
+/// An open frame whose instance slot already sits in the output vector.
+struct OpenSlot {
+    /// Index of the placeholder in `out`.
+    idx: usize,
+    activity: Activity,
+    /// Accumulated self time before the last suspension.
+    self_acc: Nanos,
+    /// When this frame last (re)gained the CPU.
+    resumed: Nanos,
+}
+
+/// Run the enter/exit pairing state machine over one CPU's stream.
 ///
-/// Returns instances sorted by `(start, cpu)` — note a *parent* sorts
-/// before its children — plus a report of stream anomalies.
+/// Instances are emitted in frame-*open* order with their `end` and
+/// `self_time` filled in at close, which leaves the shard sorted by
+/// `start` (event times are nondecreasing). Within an equal-`start` run
+/// the reference order is descending `end` with ties in close order
+/// (its stable sort over close-order emission); open order can differ
+/// there — e.g. a zero-width frame opening before a longer sibling at
+/// the same timestamp — so [`fix_equal_start_runs`] re-sorts those runs
+/// using the recorded close sequence. No full per-shard sort is needed.
+fn reconstruct_stream<'a>(
+    events: impl Iterator<Item = &'a Event>,
+    out: &mut Vec<ActivityInstance>,
+    report: &mut NestingReport,
+) {
+    let base = out.len();
+    let mut stack: Vec<OpenSlot> = Vec::new();
+    // Close sequence per emitted slot, index-aligned with `out[base..]`;
+    // unclosed/dropped slots keep `u32::MAX`.
+    let mut close_seq: Vec<u32> = Vec::new();
+    let mut next_seq = 0u32;
+    let mut dropped = 0usize;
+    for event in events {
+        let Event { t, cpu, tid, kind } = *event;
+        match kind {
+            EventKind::KernelEnter(activity) => {
+                // Suspend the currently running frame, if any.
+                if let Some(top) = stack.last_mut() {
+                    top.self_acc += t - top.resumed;
+                }
+                let depth = stack.len() as u16;
+                stack.push(OpenSlot {
+                    idx: out.len(),
+                    activity,
+                    self_acc: Nanos::ZERO,
+                    resumed: t,
+                });
+                out.push(ActivityInstance {
+                    activity,
+                    cpu,
+                    ctx: tid,
+                    start: t,
+                    end: PENDING,
+                    self_time: Nanos::ZERO,
+                    depth,
+                });
+                close_seq.push(u32::MAX);
+            }
+            EventKind::KernelExit(activity) => {
+                match stack.last() {
+                    None => {
+                        report.orphan_exits += 1;
+                    }
+                    Some(top) if top.activity != activity => {
+                        report.mismatched_exits += 1;
+                        // Drop the unmatched frame to resynchronize;
+                        // its placeholder stays PENDING and is filtered
+                        // out below.
+                        stack.pop();
+                        dropped += 1;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.resumed = t;
+                        }
+                    }
+                    Some(_) => {
+                        let frame = stack.pop().expect("checked non-empty");
+                        let slot = &mut out[frame.idx];
+                        slot.end = t;
+                        slot.self_time = frame.self_acc + (t - frame.resumed);
+                        close_seq[frame.idx - base] = next_seq;
+                        next_seq += 1;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.resumed = t;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    report.unclosed_enters += stack.len() as u64;
+    dropped += stack.len();
+    if dropped > 0 {
+        // Compact out the PENDING placeholders, keeping `close_seq`
+        // aligned.
+        let mut w = base;
+        for r in base..out.len() {
+            if out[r].end != PENDING {
+                out[w] = out[r];
+                close_seq[w - base] = close_seq[r - base];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+        close_seq.truncate(w - base);
+    }
+    fix_equal_start_runs(&mut out[base..], &close_seq);
+}
+
+/// Re-sort every maximal run of instances sharing a `start` into the
+/// reference order: descending `end`, ties in close order. Such runs
+/// are rare and short (frames opened at the very same nanosecond), so
+/// the per-run scratch allocation is negligible.
+fn fix_equal_start_runs(v: &mut [ActivityInstance], close_seq: &[u32]) {
+    let mut i = 0;
+    while i < v.len() {
+        let mut j = i + 1;
+        while j < v.len() && v[j].start == v[i].start {
+            j += 1;
+        }
+        if j - i > 1 {
+            let run = &mut v[i..j];
+            let seq = &close_seq[i..j];
+            let mut order: Vec<usize> = (0..run.len()).collect();
+            order.sort_unstable_by_key(|&k| (std::cmp::Reverse(run[k].end), seq[k]));
+            let sorted: Vec<ActivityInstance> = order.iter().map(|&k| run[k]).collect();
+            run.copy_from_slice(&sorted);
+        }
+        i = j;
+    }
+}
+
+/// Reconstruct all activity instances from a trace, sharded by CPU.
+///
+/// Per-CPU stacks are fully independent, so each CPU's stream runs on
+/// its own host thread (bounded by `available_parallelism()`); the
+/// per-CPU instance lists are then k-way merged. Output is bit-identical
+/// to [`reconstruct_reference`]: instances sorted by
+/// `(start, cpu, Reverse(end))` — a *parent* sorts before its children —
+/// plus a report of stream anomalies summed over CPUs.
 pub fn reconstruct(trace: &Trace) -> (Vec<ActivityInstance>, NestingReport) {
+    reconstruct_sharded(trace, crate::par::default_workers(trace.ncpus()))
+}
+
+/// [`reconstruct`] with an explicit worker budget.
+pub fn reconstruct_sharded(
+    trace: &Trace,
+    workers: usize,
+) -> (Vec<ActivityInstance>, NestingReport) {
+    let ncpus = trace.ncpus();
+    let shards = crate::par::parallel_map(ncpus, workers, |cpu| {
+        let mut out = Vec::new();
+        let mut report = NestingReport::default();
+        reconstruct_stream(trace.cpu_events(CpuId(cpu as u16)), &mut out, &mut report);
+        (out, report)
+    });
+
+    let mut report = NestingReport::default();
+    for (_, r) in &shards {
+        report.orphan_exits += r.orphan_exits;
+        report.unclosed_enters += r.unclosed_enters;
+        report.mismatched_exits += r.mismatched_exits;
+    }
+
+    // K-way merge of the per-CPU shards by (start, cpu). Keys never tie
+    // across shards (the cpu differs), so heap order plus per-shard
+    // FIFO reproduces the reference stable sort exactly.
+    let total: usize = shards.iter().map(|(v, _)| v.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(Nanos, u16, usize)>> =
+        std::collections::BinaryHeap::with_capacity(shards.len());
+    let mut cursors = vec![0usize; shards.len()];
+    for (i, (shard, _)) in shards.iter().enumerate() {
+        if let Some(first) = shard.first() {
+            heap.push(std::cmp::Reverse((first.start, first.cpu.0, i)));
+        }
+    }
+    while let Some(std::cmp::Reverse((_, _, i))) = heap.pop() {
+        let shard = &shards[i].0;
+        let cur = cursors[i];
+        out.push(shard[cur]);
+        cursors[i] = cur + 1;
+        if let Some(next) = shard.get(cur + 1) {
+            heap.push(std::cmp::Reverse((next.start, next.cpu.0, i)));
+        }
+    }
+    (out, report)
+}
+
+/// The retained sequential reference path (the pre-sharding
+/// implementation): one global walk over all events with per-CPU
+/// stacks, then a global sort. Kept as the differential-test oracle and
+/// the benchmark baseline.
+pub fn reconstruct_reference(trace: &Trace) -> (Vec<ActivityInstance>, NestingReport) {
     let ncpus = trace
         .events
         .iter()
@@ -92,7 +287,6 @@ pub fn reconstruct(trace: &Trace) -> (Vec<ActivityInstance>, NestingReport) {
         let stack = &mut stacks[cpu.0 as usize];
         match kind {
             EventKind::KernelEnter(activity) => {
-                // Suspend the currently running frame, if any.
                 if let Some(top) = stack.last_mut() {
                     top.self_acc += t - top.resumed;
                 }
@@ -106,37 +300,34 @@ pub fn reconstruct(trace: &Trace) -> (Vec<ActivityInstance>, NestingReport) {
                     depth,
                 });
             }
-            EventKind::KernelExit(activity) => {
-                match stack.last() {
-                    None => {
-                        report.orphan_exits += 1;
-                    }
-                    Some(top) if top.activity != activity => {
-                        report.mismatched_exits += 1;
-                        // Drop the unmatched frame to resynchronize.
-                        stack.pop();
-                        if let Some(parent) = stack.last_mut() {
-                            parent.resumed = t;
-                        }
-                    }
-                    Some(_) => {
-                        let frame = stack.pop().expect("checked non-empty");
-                        let self_time = frame.self_acc + (t - frame.resumed);
-                        out.push(ActivityInstance {
-                            activity: frame.activity,
-                            cpu,
-                            ctx: frame.ctx,
-                            start: frame.start,
-                            end: t,
-                            self_time,
-                            depth: frame.depth,
-                        });
-                        if let Some(parent) = stack.last_mut() {
-                            parent.resumed = t;
-                        }
+            EventKind::KernelExit(activity) => match stack.last() {
+                None => {
+                    report.orphan_exits += 1;
+                }
+                Some(top) if top.activity != activity => {
+                    report.mismatched_exits += 1;
+                    stack.pop();
+                    if let Some(parent) = stack.last_mut() {
+                        parent.resumed = t;
                     }
                 }
-            }
+                Some(_) => {
+                    let frame = stack.pop().expect("checked non-empty");
+                    let self_time = frame.self_acc + (t - frame.resumed);
+                    out.push(ActivityInstance {
+                        activity: frame.activity,
+                        cpu,
+                        ctx: frame.ctx,
+                        start: frame.start,
+                        end: t,
+                        self_time,
+                        depth: frame.depth,
+                    });
+                    if let Some(parent) = stack.last_mut() {
+                        parent.resumed = t;
+                    }
+                }
+            },
             _ => {}
         }
     }
@@ -175,10 +366,7 @@ mod tests {
 
     #[test]
     fn simple_pair() {
-        let trace = Trace::new(
-            vec![enter(10, 0, 1, TIMER), exit(15, 0, 1, TIMER)],
-            vec![],
-        );
+        let trace = Trace::new(vec![enter(10, 0, 1, TIMER), exit(15, 0, 1, TIMER)], vec![]);
         let (instances, report) = reconstruct(&trace);
         assert!(report.is_clean());
         assert_eq!(instances.len(), 1);
@@ -302,10 +490,7 @@ mod tests {
 
     #[test]
     fn zero_duration_activity() {
-        let trace = Trace::new(
-            vec![enter(7, 0, 1, TIMER), exit(7, 0, 1, TIMER)],
-            vec![],
-        );
+        let trace = Trace::new(vec![enter(7, 0, 1, TIMER), exit(7, 0, 1, TIMER)], vec![]);
         let (instances, report) = reconstruct(&trace);
         assert!(report.is_clean());
         assert_eq!(instances[0].self_time, Nanos(0));

@@ -25,8 +25,11 @@ use osn_trace::Trace;
 
 use serde::{Deserialize, Serialize};
 
-use crate::nesting::{reconstruct, ActivityInstance, NestingReport};
-use crate::timeline::{build_timelines, Phase, TaskTimeline, Timelines, UNKNOWN_CPU};
+use crate::nesting::{reconstruct_reference, reconstruct_sharded, ActivityInstance, NestingReport};
+use crate::timeline::{
+    build_timelines_partitioned, build_timelines_reference, Phase, TaskTimeline, Timelines,
+    UNKNOWN_CPU,
+};
 
 /// One piece of an interruption.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -155,46 +158,212 @@ pub struct NoiseAnalysis {
     pub end: Nanos,
 }
 
-impl NoiseAnalysis {
-    /// Analyze a trace. `end` should be the run's end time.
-    pub fn analyze(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> NoiseAnalysis {
-        let (instances, nesting_report) = reconstruct(trace);
-        let timelines = build_timelines(trace, tasks, end);
+/// Position indexes into a reconstructed instance list, shared by every
+/// per-task analysis. Positions are `u32` offsets into the global
+/// instance vector — half the footprint of wide references, and
+/// trivially `Send` across the worker pool.
+struct InstanceIndex {
+    /// Positions per CPU, start-ordered (the global list is
+    /// `(start, cpu, Reverse(end))`-sorted, so a per-CPU subsequence
+    /// stays start-ordered).
+    per_cpu: Vec<Vec<u32>>,
+    /// Positions per application context, *cpu-major* — exactly the
+    /// order the reference gather visits them — keyed by tid, sorted
+    /// for binary search. This is the index that turns the per-task
+    /// obstruction gather from O(instances) per rank into
+    /// O(own instances).
+    per_ctx: Vec<(Tid, Vec<u32>)>,
+}
 
-        // Per-CPU instance index, sorted by start (reconstruct() sorts
-        // globally by start already).
-        let ncpus = instances
-            .iter()
-            .map(|i| i.cpu.0 as usize + 1)
-            .max()
-            .unwrap_or(0);
-        let mut per_cpu: Vec<Vec<&ActivityInstance>> = vec![Vec::new(); ncpus];
-        for inst in &instances {
-            per_cpu[inst.cpu.0 as usize].push(inst);
-        }
+impl InstanceIndex {
+    fn build(instances: &[ActivityInstance], app_tids: &[Tid]) -> InstanceIndex {
+        let per_cpu = per_cpu_positions(instances);
 
-        // Per-CPU running segments of every task (for preemptor
-        // attribution).
-        let mut running: Vec<Vec<(Nanos, Nanos, Tid)>> = vec![Vec::new(); ncpus];
-        for (tid, tl) in timelines.iter() {
-            for span in tl.spans.iter() {
-                if let Phase::Running(cpu) = span.phase {
-                    if (cpu.0 as usize) < ncpus {
-                        running[cpu.0 as usize].push((span.start, span.end, *tid));
+        let mut tids: Vec<Tid> = app_tids.to_vec();
+        tids.sort_unstable_by_key(|t| t.0);
+        tids.dedup();
+        let mut per_ctx: Vec<(Tid, Vec<u32>)> = tids.into_iter().map(|t| (t, Vec::new())).collect();
+        // Cpu-major fill so each context's list replays the reference
+        // gather order (cpu 0..n, start-ordered within each) exactly.
+        // Consecutive instances usually share a context (nested frames,
+        // repeated ticks in one residency), so memoize the last lookup.
+        let mut last: Option<(Tid, Option<usize>)> = None;
+        for list in &per_cpu {
+            for &pos in list {
+                let ctx = instances[pos as usize].ctx;
+                let slot = match last {
+                    Some((t, s)) if t == ctx => s,
+                    _ => {
+                        let s = per_ctx.binary_search_by_key(&ctx.0, |(t, _)| t.0).ok();
+                        last = Some((ctx, s));
+                        s
                     }
+                };
+                if let Some(slot) = slot {
+                    per_ctx[slot].1.push(pos);
                 }
             }
         }
-        for segs in &mut running {
-            segs.sort_unstable_by_key(|(s, _, _)| *s);
+        InstanceIndex { per_cpu, per_ctx }
+    }
+
+    fn ctx_positions(&self, tid: Tid) -> &[u32] {
+        match self.per_ctx.binary_search_by_key(&tid.0, |(t, _)| t.0) {
+            Ok(i) => &self.per_ctx[i].1,
+            Err(_) => &[],
         }
+    }
+
+    fn ncpus(&self) -> usize {
+        self.per_cpu.len()
+    }
+}
+
+/// Per-CPU instance positions, grown on demand — the array length is
+/// the instance-derived CPU count, which also sizes the running-segment
+/// index (`decompose_gap` bounds-checks against it).
+fn per_cpu_positions(instances: &[ActivityInstance]) -> Vec<Vec<u32>> {
+    let mut per_cpu: Vec<Vec<u32>> = Vec::new();
+    for (pos, inst) in instances.iter().enumerate() {
+        let c = inst.cpu.0 as usize;
+        if c >= per_cpu.len() {
+            per_cpu.resize_with(c + 1, Vec::new);
+        }
+        per_cpu[c].push(pos as u32);
+    }
+    per_cpu
+}
+
+/// Is this instance asynchronous kernel work (interrupt top half or
+/// softirq)? Only these can be re-categorized out of a Ready gap by
+/// [`decompose_gap`].
+#[inline]
+fn is_async(a: Activity) -> bool {
+    a.is_hardirq() || matches!(a, Activity::Softirq(_))
+}
+
+/// Positions of asynchronous instances per CPU, same shape as
+/// `per_cpu`. Ready-gap decomposition only ever selects these, so the
+/// gap window scan walks this (small) index instead of every instance
+/// on the CPU — under heavy oversubscription every instance sits inside
+/// many other tasks' Ready gaps, which made the full scan quadratic.
+fn per_cpu_async_positions(instances: &[ActivityInstance], ncpus: usize) -> Vec<Vec<u32>> {
+    let mut per_cpu: Vec<Vec<u32>> = vec![Vec::new(); ncpus];
+    for (pos, inst) in instances.iter().enumerate() {
+        if is_async(inst.activity) {
+            per_cpu[inst.cpu.0 as usize].push(pos as u32);
+        }
+    }
+    per_cpu
+}
+
+/// Per-CPU running segments of every task (for preemptor attribution).
+fn running_segments(timelines: &Timelines, ncpus: usize) -> Vec<Vec<(Nanos, Nanos, Tid)>> {
+    let mut running: Vec<Vec<(Nanos, Nanos, Tid)>> = vec![Vec::new(); ncpus];
+    for (tid, tl) in timelines.iter() {
+        for span in tl.spans.iter() {
+            if let Phase::Running(cpu) = span.phase {
+                if (cpu.0 as usize) < ncpus {
+                    running[cpu.0 as usize].push((span.start, span.end, *tid));
+                }
+            }
+        }
+    }
+    for segs in &mut running {
+        // Running spans on one CPU are disjoint with positive length,
+        // so starts are unique and the unstable sort is deterministic
+        // despite the HashMap iteration order above; the full key keeps
+        // it deterministic even on degenerate inputs.
+        segs.sort_unstable_by_key(|&(s, e, t)| (s, e, t.0));
+    }
+    running
+}
+
+impl NoiseAnalysis {
+    /// Analyze a trace. `end` should be the run's end time.
+    ///
+    /// This is the sharded engine: reconstruction is sharded by CPU,
+    /// timelines are partitioned by task, the per-task obstruction
+    /// gather goes through a per-context position index instead of
+    /// scanning every instance per rank, and application tasks are
+    /// analyzed in parallel across host threads. Output is bit-identical
+    /// to [`NoiseAnalysis::analyze_reference`].
+    pub fn analyze(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> NoiseAnalysis {
+        let shards = trace.ncpus().max(tasks.len());
+        Self::analyze_with_workers(trace, tasks, end, crate::par::default_workers(shards))
+    }
+
+    /// [`NoiseAnalysis::analyze`] with an explicit worker budget.
+    pub fn analyze_with_workers(
+        trace: &Trace,
+        tasks: &[TaskMeta],
+        end: Nanos,
+        workers: usize,
+    ) -> NoiseAnalysis {
+        let (instances, nesting_report) = reconstruct_sharded(trace, workers);
+        let timelines = build_timelines_partitioned(trace, tasks, end, workers);
+
+        let apps: Vec<Tid> = tasks
+            .iter()
+            .filter(|m| m.kind == "app")
+            .map(|m| m.tid)
+            .collect();
+        let index = InstanceIndex::build(&instances, &apps);
+        let running = running_segments(&timelines, index.ncpus());
+        let per_cpu_async = per_cpu_async_positions(&instances, index.ncpus());
+
+        let targets: Vec<Tid> = apps
+            .into_iter()
+            .filter(|t| timelines.get(*t).is_some())
+            .collect();
+        let noises = crate::par::parallel_map(targets.len(), workers, |i| {
+            let tid = targets[i];
+            let tl = timelines.get(tid).expect("filtered above");
+            analyze_task(
+                tid,
+                tl,
+                &instances,
+                index.ctx_positions(tid),
+                &per_cpu_async,
+                &running,
+            )
+        });
+        let result: HashMap<Tid, TaskNoise> = targets.into_iter().zip(noises).collect();
+
+        NoiseAnalysis {
+            instances,
+            nesting_report,
+            timelines,
+            tasks: result,
+            end,
+        }
+    }
+
+    /// The retained sequential reference engine (the pre-sharding seed
+    /// path): global reconstruction, single-walk timelines, and the
+    /// O(ranks × instances) obstruction gather. Kept as the
+    /// differential-test oracle and the benchmark baseline.
+    pub fn analyze_reference(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> NoiseAnalysis {
+        let (instances, nesting_report) = reconstruct_reference(trace);
+        let timelines = build_timelines_reference(trace, tasks, end);
+
+        let per_cpu = per_cpu_positions(&instances);
+        let running = running_segments(&timelines, per_cpu.len());
+        let per_cpu_async = per_cpu_async_positions(&instances, per_cpu.len());
 
         let mut result: HashMap<Tid, TaskNoise> = HashMap::new();
         for meta in tasks.iter().filter(|m| m.kind == "app") {
             let Some(tl) = timelines.get(meta.tid) else {
                 continue;
             };
-            let noise = analyze_task(meta.tid, tl, &per_cpu, &running);
+            let noise = analyze_task_reference(
+                meta.tid,
+                tl,
+                &instances,
+                &per_cpu,
+                &per_cpu_async,
+                &running,
+            );
             result.insert(meta.tid, noise);
         }
 
@@ -210,12 +379,20 @@ impl NoiseAnalysis {
     /// All interruptions of a set of tasks, merged and time-sorted
     /// (job-level view).
     pub fn interruptions_of(&self, tids: &[Tid]) -> Vec<&Interruption> {
-        let mut out: Vec<&Interruption> = tids
+        let total: usize = tids
             .iter()
             .filter_map(|t| self.tasks.get(t))
-            .flat_map(|tn| tn.interruptions.iter())
-            .collect();
-        out.sort_by_key(|i| i.start);
+            .map(|tn| tn.interruptions.len())
+            .sum();
+        let mut out: Vec<&Interruption> = Vec::with_capacity(total);
+        out.extend(
+            tids.iter()
+                .filter_map(|t| self.tasks.get(t))
+                .flat_map(|tn| tn.interruptions.iter()),
+        );
+        // Unstable is fine with a full key: (start, end, task) is
+        // unique per interruption, so the order is deterministic.
+        out.sort_unstable_by_key(|i| (i.start, i.end, i.task.0));
         out
     }
 }
@@ -226,7 +403,11 @@ enum Obstruction<'a> {
     /// Kernel activity in the task's own context.
     OwnContext(&'a ActivityInstance),
     /// Waiting on `cpu`'s runqueue.
-    ReadyGap { start: Nanos, end: Nanos, cpu: CpuId },
+    ReadyGap {
+        start: Nanos,
+        end: Nanos,
+        cpu: CpuId,
+    },
 }
 
 impl Obstruction<'_> {
@@ -238,21 +419,76 @@ impl Obstruction<'_> {
     }
 }
 
+/// Indexed obstruction gather: only this task's own-context instances
+/// are visited, via the per-context position index.
 fn analyze_task(
     tid: Tid,
     tl: &TaskTimeline,
-    per_cpu: &[Vec<&ActivityInstance>],
+    instances: &[ActivityInstance],
+    ctx_positions: &[u32],
+    per_cpu_async: &[Vec<u32>],
     running: &[Vec<(Nanos, Nanos, Tid)>],
 ) -> TaskNoise {
-    // Gather obstructions.
+    let mut obstructions: Vec<Obstruction<'_>> = Vec::with_capacity(ctx_positions.len());
+    // The cpu-major position list is start-ordered within each CPU run,
+    // so a monotonic cursor over the contiguous timeline spans replaces
+    // the per-instance binary search of [`TaskTimeline::runnable_at`];
+    // the cursor rewinds when a new CPU run restarts the clock.
+    let spans = &tl.spans;
+    let mut idx = 0usize;
+    let mut prev_start = Nanos::ZERO;
+    for &pos in ctx_positions {
+        let inst = &instances[pos as usize];
+        if inst.start < prev_start {
+            idx = 0;
+        }
+        prev_start = inst.start;
+        while idx < spans.len() && spans[idx].end <= inst.start {
+            idx += 1;
+        }
+        let runnable = spans
+            .get(idx)
+            .is_some_and(|s| s.start <= inst.start && s.phase.is_runnable());
+        if runnable {
+            obstructions.push(Obstruction::OwnContext(inst));
+        }
+    }
+    merge_obstructions(tid, tl, obstructions, instances, per_cpu_async, running)
+}
+
+/// Reference obstruction gather: scan every instance on every CPU —
+/// O(instances) per rank, the quadratic path the index replaces.
+fn analyze_task_reference(
+    tid: Tid,
+    tl: &TaskTimeline,
+    instances: &[ActivityInstance],
+    per_cpu: &[Vec<u32>],
+    per_cpu_async: &[Vec<u32>],
+    running: &[Vec<(Nanos, Nanos, Tid)>],
+) -> TaskNoise {
     let mut obstructions: Vec<Obstruction<'_>> = Vec::new();
     for cpu_insts in per_cpu {
-        for inst in cpu_insts {
+        for &pos in cpu_insts {
+            let inst = &instances[pos as usize];
             if inst.ctx == tid && tl.runnable_at(inst.start) {
                 obstructions.push(Obstruction::OwnContext(inst));
             }
         }
     }
+    merge_obstructions(tid, tl, obstructions, instances, per_cpu_async, running)
+}
+
+/// Shared back half of the per-task analysis: append Ready gaps, merge
+/// touching/overlapping obstructions into interruptions, decompose, and
+/// total up the timeline.
+fn merge_obstructions<'a>(
+    tid: Tid,
+    tl: &'a TaskTimeline,
+    mut obstructions: Vec<Obstruction<'a>>,
+    instances: &[ActivityInstance],
+    per_cpu_async: &[Vec<u32>],
+    running: &[Vec<(Nanos, Nanos, Tid)>],
+) -> TaskNoise {
     for span in tl.ready_spans() {
         let Phase::Ready(cpu) = span.phase else {
             unreachable!()
@@ -269,15 +505,16 @@ fn analyze_task(
     let mut interruptions: Vec<Interruption> = Vec::new();
     let mut group: Vec<&Obstruction<'_>> = Vec::new();
     let mut group_end = Nanos::ZERO;
+    // Preemptor-overlap scratch, reused across every gap of this task.
+    let mut overlap: Vec<(Tid, Nanos)> = Vec::new();
 
-    let flush = |group: &mut Vec<&Obstruction<'_>>,
-                 interruptions: &mut Vec<Interruption>| {
+    let mut flush = |group: &mut Vec<&Obstruction<'_>>, interruptions: &mut Vec<Interruption>| {
         if group.is_empty() {
             return;
         }
         let start = group.iter().map(|o| o.interval().0).min().unwrap();
         let end = group.iter().map(|o| o.interval().1).max().unwrap();
-        let mut components: Vec<(Component, Nanos)> = Vec::new();
+        let mut components: Vec<(Component, Nanos)> = Vec::with_capacity(group.len());
         for o in group.iter() {
             match o {
                 Obstruction::OwnContext(inst) => {
@@ -286,7 +523,17 @@ fn analyze_task(
                     }
                 }
                 Obstruction::ReadyGap { start, end, cpu } => {
-                    decompose_gap(tid, *start, *end, *cpu, per_cpu, running, &mut components);
+                    decompose_gap(
+                        tid,
+                        *start,
+                        *end,
+                        *cpu,
+                        instances,
+                        per_cpu_async,
+                        running,
+                        &mut overlap,
+                        &mut components,
+                    );
                 }
             }
         }
@@ -314,10 +561,7 @@ fn analyze_task(
 
     let runnable_time = tl.time_where(|p| p.is_runnable());
     let running_time = tl.time_where(|p| p.is_running());
-    let wall = tl
-        .extent()
-        .map(|(s, e)| e - s)
-        .unwrap_or(Nanos::ZERO);
+    let wall = tl.extent().map(|(s, e)| e - s).unwrap_or(Nanos::ZERO);
 
     TaskNoise {
         tid,
@@ -330,13 +574,20 @@ fn analyze_task(
 
 /// Decompose a Ready gap on `cpu` into categorized kernel components
 /// plus a preemption remainder attributed to the dominant preemptor.
+/// `overlap` is caller-owned scratch (cleared here); gaps see only a
+/// handful of distinct preemptors, so a linear-probed vector beats a
+/// hash map and — unlike one — breaks duration ties deterministically
+/// (first preemptor to reach the maximum wins).
+#[allow(clippy::too_many_arguments)]
 fn decompose_gap(
     tid: Tid,
     start: Nanos,
     end: Nanos,
     cpu: CpuId,
-    per_cpu: &[Vec<&ActivityInstance>],
+    instances: &[ActivityInstance],
+    per_cpu_async: &[Vec<u32>],
     running: &[Vec<(Nanos, Nanos, Tid)>],
+    overlap: &mut Vec<(Tid, Nanos)>,
     components: &mut Vec<(Component, Nanos)>,
 ) {
     let gap = end - start;
@@ -344,29 +595,28 @@ fn decompose_gap(
         return;
     }
     let mut kernel_time = Nanos::ZERO;
-    if cpu != UNKNOWN_CPU && (cpu.0 as usize) < per_cpu.len() {
-        let insts = &per_cpu[cpu.0 as usize];
-        // Instances are sorted by start: find the window in the gap.
-        let lo = insts.partition_point(|i| i.start < start);
-        for inst in &insts[lo..] {
+    if cpu != UNKNOWN_CPU && (cpu.0 as usize) < per_cpu_async.len() {
+        // Only asynchronous kernel work (interrupt top halves and
+        // softirqs) is re-categorized out of the gap: that work would
+        // have hit this CPU regardless of who ran. The preempting
+        // task's own faults, syscalls and schedule frames are part of
+        // "kernel and user daemons that preempt the application's
+        // processes" (§IV-A) and stay in the preemption bucket.
+        // Straddling fragments also stay (partial self-times would
+        // distort duration statistics). The async index pre-filters the
+        // activity kinds, so only candidates are visited here.
+        let insts = &per_cpu_async[cpu.0 as usize];
+        // Positions are sorted by start: find the window in the gap.
+        let lo = insts.partition_point(|&p| instances[p as usize].start < start);
+        for &pos in &insts[lo..] {
+            let inst = &instances[pos as usize];
             if inst.start >= end {
                 break;
             }
             if inst.ctx == tid {
                 continue; // already counted as OwnContext
             }
-            // Only asynchronous kernel work (interrupt top halves and
-            // softirqs) is re-categorized out of the gap: that work
-            // would have hit this CPU regardless of who ran. The
-            // preempting task's own faults, syscalls and schedule
-            // frames are part of "kernel and user daemons that preempt
-            // the application's processes" (§IV-A) and stay in the
-            // preemption bucket. Straddling fragments also stay
-            // (partial self-times would distort duration statistics).
-            let categorized = (inst.activity.is_hardirq()
-                || matches!(inst.activity, Activity::Softirq(_)))
-                && inst.end <= end;
-            if categorized && !inst.self_time.is_zero() {
+            if inst.end <= end && !inst.self_time.is_zero() {
                 components.push((Component::Activity(inst.activity), inst.self_time));
                 kernel_time += inst.self_time;
             }
@@ -381,7 +631,7 @@ fn decompose_gap(
     let by = if cpu != UNKNOWN_CPU && (cpu.0 as usize) < running.len() {
         let segs = &running[cpu.0 as usize];
         let lo = segs.partition_point(|(_, e, _)| *e <= start);
-        let mut overlap: HashMap<Tid, Nanos> = HashMap::new();
+        overlap.clear();
         for &(s, e, who) in &segs[lo..] {
             if s >= end {
                 break;
@@ -391,14 +641,21 @@ fn decompose_gap(
             }
             let o = e.min(end).saturating_sub(s.max(start));
             if !o.is_zero() {
-                *overlap.entry(who).or_insert(Nanos::ZERO) += o;
+                match overlap.iter_mut().find(|(w, _)| *w == who) {
+                    Some((_, d)) => *d += o,
+                    None => overlap.push((who, o)),
+                }
             }
         }
-        overlap
-            .into_iter()
-            .max_by_key(|(_, d)| *d)
-            .map(|(who, _)| who)
-            .unwrap_or(Tid::IDLE)
+        let mut by = Tid::IDLE;
+        let mut best = Nanos::ZERO;
+        for &(who, d) in overlap.iter() {
+            if d > best {
+                best = d;
+                by = who;
+            }
+        }
+        by
     } else {
         Tid::IDLE
     };

@@ -16,7 +16,11 @@ use crate::stats::{class_stats, EventClass};
 pub fn task_report(analysis: &NoiseAnalysis, meta: &TaskMeta) -> String {
     let mut out = String::new();
     let Some(tn) = analysis.tasks.get(&meta.tid) else {
-        let _ = writeln!(out, "{} ({}): not analyzed (not an application task)", meta.name, meta.tid);
+        let _ = writeln!(
+            out,
+            "{} ({}): not analyzed (not an application task)",
+            meta.name, meta.tid
+        );
         return out;
     };
     let _ = writeln!(

@@ -89,8 +89,12 @@ impl NoiseSignature {
         for class in EventClass::ALL {
             let new = self.entry(class);
             let old = baseline.entry(class);
-            let (nf, nm) = new.map(|e| (e.freq_per_sec, e.mean_ns)).unwrap_or((0.0, 0.0));
-            let (of, om) = old.map(|e| (e.freq_per_sec, e.mean_ns)).unwrap_or((0.0, 0.0));
+            let (nf, nm) = new
+                .map(|e| (e.freq_per_sec, e.mean_ns))
+                .unwrap_or((0.0, 0.0));
+            let (of, om) = old
+                .map(|e| (e.freq_per_sec, e.mean_ns))
+                .unwrap_or((0.0, 0.0));
             if nf == 0.0 && of == 0.0 {
                 continue;
             }

@@ -1,12 +1,13 @@
 //! Per-event quantitative statistics: the frequency and duration
 //! analysis of the paper's Tables I–VI.
 
-use osn_kernel::activity::{Activity, SoftirqVec};
+use osn_kernel::activity::{Activity, NoiseCategory, SoftirqVec};
 use osn_kernel::ids::Tid;
 use osn_kernel::time::Nanos;
 
 use serde::{Deserialize, Serialize};
 
+use crate::breakdown::Breakdown;
 use crate::noise::NoiseAnalysis;
 
 /// The event classes the paper reports statistics for (each table row
@@ -38,6 +39,26 @@ impl EventClass {
         EventClass::Schedule,
         EventClass::HrTimer,
     ];
+
+    /// The class of an activity, if any — the inverse of
+    /// [`EventClass::matches`] as one direct match instead of ten
+    /// probes (the fused statistics pass classifies every component
+    /// exactly once). Consistency with `matches` is test-enforced.
+    pub fn of(a: Activity) -> Option<EventClass> {
+        match a {
+            Activity::PageFault(_) => Some(EventClass::PageFault),
+            Activity::TimerInterrupt => Some(EventClass::TimerInterrupt),
+            Activity::HrTimerInterrupt => Some(EventClass::HrTimer),
+            Activity::NetworkInterrupt => Some(EventClass::NetworkInterrupt),
+            Activity::Softirq(SoftirqVec::Timer) => Some(EventClass::RunTimerSoftirq),
+            Activity::Softirq(SoftirqVec::NetRx) => Some(EventClass::NetRxAction),
+            Activity::Softirq(SoftirqVec::NetTx) => Some(EventClass::NetTxAction),
+            Activity::Softirq(SoftirqVec::Rebalance) => Some(EventClass::RebalanceDomains),
+            Activity::Softirq(SoftirqVec::Rcu) => Some(EventClass::RcuCallbacks),
+            Activity::Schedule(_) => Some(EventClass::Schedule),
+            _ => None,
+        }
+    }
 
     pub fn matches(self, a: Activity) -> bool {
         match self {
@@ -147,9 +168,7 @@ pub fn class_samples_timed(
     let mut out = Vec::new();
     for tid in tids {
         if let Some(tn) = analysis.tasks.get(tid) {
-            out.extend(
-                tn.activity_samples(|a| class.matches(a)),
-            );
+            out.extend(tn.activity_samples(|a| class.matches(a)));
         }
     }
     out.sort_by_key(|(t, _)| *t);
@@ -167,6 +186,157 @@ pub fn class_stats(analysis: &NoiseAnalysis, tids: &[Tid], class: EventClass) ->
         .max()
         .unwrap_or(Nanos::ZERO);
     EventStats::from_samples(&samples, wall)
+}
+
+/// Streaming equivalent of [`EventStats::from_samples`]: count, total,
+/// min and max are order-independent and avg/freq derive from them, so
+/// accumulating per component is bit-identical to collecting the sample
+/// vector first.
+#[derive(Clone, Copy)]
+struct ClassAccum {
+    count: u64,
+    total: Nanos,
+    min: Nanos,
+    max: Nanos,
+}
+
+impl ClassAccum {
+    const EMPTY: ClassAccum = ClassAccum {
+        count: 0,
+        total: Nanos::ZERO,
+        min: Nanos(u64::MAX),
+        max: Nanos::ZERO,
+    };
+
+    #[inline]
+    fn push(&mut self, d: Nanos) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+    }
+
+    fn finish(self, wall: Nanos) -> EventStats {
+        if self.count == 0 {
+            return EventStats::empty();
+        }
+        let avg = Nanos(self.total.as_nanos() / self.count);
+        let freq_per_sec = if wall.is_zero() {
+            0.0
+        } else {
+            self.count as f64 / wall.as_secs_f64()
+        };
+        EventStats {
+            count: self.count,
+            freq_per_sec,
+            avg,
+            max: self.max,
+            min: self.min,
+            total: self.total,
+        }
+    }
+}
+
+/// Everything the paper report derives from one job's interruption
+/// records, computed in a single fused pass.
+pub struct JobStats {
+    /// Fig 3 noise breakdown over all ranks.
+    pub breakdown: Breakdown,
+    /// Tables I–VI rows for the observed tasks, in [`EventClass::ALL`]
+    /// order.
+    pub classes: Vec<(EventClass, EventStats)>,
+    /// Duration samples over all ranks for the three histogram classes
+    /// (Figs 4, 6, 8).
+    pub fault_samples: Vec<Nanos>,
+    pub rebalance_samples: Vec<Nanos>,
+    pub timer_softirq_samples: Vec<Nanos>,
+}
+
+/// One fused pass over the job's interruption components, replacing the
+/// `Breakdown::compute` + 10 × [`class_stats`] + 3 × [`class_samples`]
+/// passes the report assembly used to make. `ranks` drives the
+/// breakdown and histograms; `observed` (normally one rank) drives the
+/// per-class statistics. Bit-identical to the separate passes: every
+/// accumulator is order-independent, and the histogram sample vectors
+/// are filled in the same rank-major component order.
+pub fn job_stats(analysis: &NoiseAnalysis, ranks: &[Tid], observed: &[Tid]) -> JobStats {
+    use crate::noise::Component;
+
+    let mut accs = [ClassAccum::EMPTY; EventClass::ALL.len()];
+    let mut totals: Vec<(NoiseCategory, Nanos)> = NoiseCategory::NOISE
+        .iter()
+        .map(|c| (*c, Nanos::ZERO))
+        .collect();
+    let mut runnable_time = Nanos::ZERO;
+    let mut fault_samples = Vec::new();
+    let mut rebalance_samples = Vec::new();
+    let mut timer_softirq_samples = Vec::new();
+
+    let mut scan = |tid: &Tid, in_ranks: bool, in_observed: bool| {
+        let Some(tn) = analysis.tasks.get(tid) else {
+            return;
+        };
+        if in_ranks {
+            runnable_time += tn.runnable_time;
+        }
+        for i in &tn.interruptions {
+            for (c, d) in &i.components {
+                if in_ranks {
+                    if let Some(cat) = c.category() {
+                        if let Some(slot) = totals.iter_mut().find(|(tc, _)| *tc == cat) {
+                            slot.1 += *d;
+                        }
+                    }
+                }
+                if let Component::Activity(a) = c {
+                    if let Some(class) = EventClass::of(*a) {
+                        if in_observed {
+                            accs[class as usize].push(*d);
+                        }
+                        if in_ranks {
+                            match class {
+                                EventClass::PageFault => fault_samples.push(*d),
+                                EventClass::RebalanceDomains => rebalance_samples.push(*d),
+                                EventClass::RunTimerSoftirq => timer_softirq_samples.push(*d),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for tid in ranks {
+        scan(tid, true, observed.contains(tid));
+    }
+    for tid in observed.iter().filter(|t| !ranks.contains(t)) {
+        scan(tid, false, true);
+    }
+
+    let wall = observed
+        .iter()
+        .filter_map(|t| analysis.tasks.get(t))
+        .map(|tn| tn.wall)
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    let classes = EventClass::ALL
+        .iter()
+        .map(|c| (*c, accs[*c as usize].finish(wall)))
+        .collect();
+    let total_noise = totals.iter().map(|(_, d)| *d).sum();
+
+    JobStats {
+        breakdown: Breakdown {
+            totals,
+            total_noise,
+            runnable_time,
+        },
+        classes,
+        fault_samples,
+        rebalance_samples,
+        timer_softirq_samples,
+    }
 }
 
 #[cfg(test)]
@@ -188,14 +358,20 @@ mod tests {
     #[test]
     fn every_noise_activity_has_at_most_one_class() {
         for a in Activity::all() {
-            let classes = EventClass::ALL
-                .iter()
-                .filter(|c| c.matches(a))
-                .count();
+            let classes = EventClass::ALL.iter().filter(|c| c.matches(a)).count();
             assert!(classes <= 1, "{a} matched {classes} classes");
             if a.is_noise() {
                 assert_eq!(classes, 1, "noise activity {a} unclassified");
             }
+        }
+    }
+
+    #[test]
+    fn of_agrees_with_matches() {
+        for a in Activity::all() {
+            let by_of = EventClass::of(a);
+            let by_match = EventClass::ALL.iter().copied().find(|c| c.matches(a));
+            assert_eq!(by_of, by_match, "class mismatch for {a}");
         }
     }
 

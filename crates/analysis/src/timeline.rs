@@ -73,13 +73,9 @@ impl TaskTimeline {
     /// Phase at time `t` (spans are half-open `[start, end)`).
     pub fn phase_at(&self, t: Nanos) -> Option<Phase> {
         let idx = self.spans.partition_point(|s| s.end <= t);
-        self.spans.get(idx).and_then(|s| {
-            if s.start <= t {
-                Some(s.phase)
-            } else {
-                None
-            }
-        })
+        self.spans
+            .get(idx)
+            .and_then(|s| if s.start <= t { Some(s.phase) } else { None })
     }
 
     /// Is the task runnable (running or ready) at `t`?
@@ -140,62 +136,153 @@ impl Timelines {
     }
 }
 
+struct Builder {
+    spans: Vec<PhaseSpan>,
+    phase: Phase,
+    since: Nanos,
+}
+
+impl Builder {
+    fn new(meta: &TaskMeta) -> Self {
+        let initial = match meta.kind.as_str() {
+            "app" => Phase::Ready(UNKNOWN_CPU),
+            _ => Phase::Blocked(SwitchState::BlockedWait),
+        };
+        Builder {
+            spans: Vec::new(),
+            phase: initial,
+            since: Nanos::ZERO,
+        }
+    }
+
+    fn transition(&mut self, t: Nanos, next: Phase) {
+        if next == self.phase {
+            return;
+        }
+        if t > self.since {
+            self.spans.push(PhaseSpan {
+                start: self.since,
+                end: t,
+                phase: self.phase,
+            });
+        }
+        self.phase = next;
+        self.since = t;
+    }
+
+    fn finish(mut self, end: Nanos, tid: Tid) -> TaskTimeline {
+        if end > self.since {
+            self.spans.push(PhaseSpan {
+                start: self.since,
+                end,
+                phase: self.phase,
+            });
+        }
+        TaskTimeline {
+            tid,
+            spans: self.spans,
+        }
+    }
+}
+
 /// Build per-task timelines. `tasks` supplies initial states
 /// (applications start Ready at t=0, daemons Blocked) and `end` caps
 /// the final open span (use the trace's last timestamp or the run's
 /// end time).
+///
+/// The walk is partitioned by task: one indexing pass collects each
+/// task's scheduler-event positions, then every task replays only its
+/// own events (in parallel across host threads). Output is
+/// bit-identical to [`build_timelines_reference`] because transitions
+/// for one task depend only on that task's events, and the prev-role
+/// transition still precedes the next-role transition on a self-switch.
 pub fn build_timelines(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> Timelines {
-    struct Builder {
-        spans: Vec<PhaseSpan>,
-        phase: Phase,
-        since: Nanos,
-    }
-    impl Builder {
-        fn transition(&mut self, t: Nanos, next: Phase) {
-            if next == self.phase {
-                return;
+    build_timelines_partitioned(trace, tasks, end, crate::par::default_workers(tasks.len()))
+}
+
+/// [`build_timelines`] with an explicit worker budget.
+pub fn build_timelines_partitioned(
+    trace: &Trace,
+    tasks: &[TaskMeta],
+    end: Nanos,
+    workers: usize,
+) -> Timelines {
+    // One pass: the positions of each task's scheduler events. A
+    // self-switch (prev == next) is recorded once and replayed in both
+    // roles.
+    let mut positions: HashMap<Tid, Vec<u32>> = tasks.iter().map(|m| (m.tid, Vec::new())).collect();
+    for (pos, event) in trace.events.iter().enumerate() {
+        match event.kind {
+            EventKind::SchedSwitch { prev, next, .. } => {
+                if !prev.is_idle() {
+                    if let Some(v) = positions.get_mut(&prev) {
+                        v.push(pos as u32);
+                    }
+                }
+                if next != prev && !next.is_idle() {
+                    if let Some(v) = positions.get_mut(&next) {
+                        v.push(pos as u32);
+                    }
+                }
             }
-            if t > self.since {
-                self.spans.push(PhaseSpan {
-                    start: self.since,
-                    end: t,
-                    phase: self.phase,
-                });
+            EventKind::Wakeup { tid, .. } => {
+                if let Some(v) = positions.get_mut(&tid) {
+                    v.push(pos as u32);
+                }
             }
-            self.phase = next;
-            self.since = t;
-        }
-        fn finish(mut self, end: Nanos, tid: Tid) -> TaskTimeline {
-            if end > self.since {
-                self.spans.push(PhaseSpan {
-                    start: self.since,
-                    end,
-                    phase: self.phase,
-                });
-            }
-            TaskTimeline {
-                tid,
-                spans: self.spans,
-            }
+            _ => {}
         }
     }
 
+    let lines = crate::par::parallel_map(tasks.len(), workers, |i| {
+        let meta = &tasks[i];
+        let tid = meta.tid;
+        let mut b = Builder::new(meta);
+        for &pos in &positions[&tid] {
+            let event = &trace.events[pos as usize];
+            match event.kind {
+                EventKind::SchedSwitch {
+                    prev,
+                    prev_state,
+                    next,
+                } => {
+                    if prev == tid {
+                        let phase = match prev_state {
+                            SwitchState::Preempted => Phase::Ready(event.cpu),
+                            SwitchState::Exited => Phase::Gone,
+                            blocked => Phase::Blocked(blocked),
+                        };
+                        b.transition(event.t, phase);
+                    }
+                    if next == tid {
+                        b.transition(event.t, Phase::Running(event.cpu));
+                    }
+                }
+                EventKind::Wakeup { .. } => {
+                    // Woken: blocked → ready (ignore spurious wakeups of
+                    // already-runnable tasks).
+                    if matches!(b.phase, Phase::Blocked(_)) {
+                        b.transition(event.t, Phase::Ready(event.cpu));
+                    }
+                }
+                _ => unreachable!("only scheduler events are indexed"),
+            }
+        }
+        b.finish(end, tid)
+    });
+
+    let map = lines.into_iter().map(|tl| (tl.tid, tl)).collect();
+    Timelines { map }
+}
+
+/// The retained single-walk reference implementation (the
+/// pre-partitioning seed path): one pass over all events mutating every
+/// task's builder in stream order. Kept as the differential-test oracle
+/// and the benchmark baseline.
+pub fn build_timelines_reference(trace: &Trace, tasks: &[TaskMeta], end: Nanos) -> Timelines {
     let mut builders: HashMap<Tid, Builder> = tasks
         .iter()
-        .map(|meta| {
-            let initial = match meta.kind.as_str() {
-                "app" => Phase::Ready(UNKNOWN_CPU),
-                _ => Phase::Blocked(SwitchState::BlockedWait),
-            };
-            (
-                meta.tid,
-                Builder {
-                    spans: Vec::new(),
-                    phase: initial,
-                    since: Nanos::ZERO,
-                },
-            )
-        })
+        .map(|meta| (meta.tid, Builder::new(meta)))
         .collect();
 
     for event in &trace.events {
@@ -319,10 +406,7 @@ mod tests {
         assert!(!tl.runnable_at(Nanos(85)));
 
         // Time accounting.
-        assert_eq!(
-            tl.time_where(|p| p.is_running()),
-            Nanos(40 + 20 + 20)
-        );
+        assert_eq!(tl.time_where(|p| p.is_running()), Nanos(40 + 20 + 20));
         assert_eq!(tl.time_where(|p| p.is_ready()), Nanos(10 + 10 + 5));
     }
 
@@ -359,10 +443,7 @@ mod tests {
 
     #[test]
     fn phase_at_boundaries() {
-        let trace = Trace::new(
-            vec![switch(10, 0, 0, SwitchState::Preempted, 1)],
-            vec![],
-        );
+        let trace = Trace::new(vec![switch(10, 0, 0, SwitchState::Preempted, 1)], vec![]);
         let tls = build_timelines(&trace, &[meta(1, "app")], Nanos(20));
         let tl = tls.get(Tid(1)).unwrap();
         // Half-open: at exactly t=10 the new phase holds.
@@ -374,10 +455,7 @@ mod tests {
 
     #[test]
     fn unknown_tasks_ignored() {
-        let trace = Trace::new(
-            vec![switch(10, 0, 9, SwitchState::Preempted, 8)],
-            vec![],
-        );
+        let trace = Trace::new(vec![switch(10, 0, 9, SwitchState::Preempted, 8)], vec![]);
         let tls = build_timelines(&trace, &[meta(1, "app")], Nanos(20));
         assert_eq!(tls.len(), 1);
         assert!(tls.get(Tid(9)).is_none());

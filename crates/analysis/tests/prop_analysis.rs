@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use osn_analysis::histogram::{percentile, Histogram};
-use osn_analysis::nesting::reconstruct;
+use osn_analysis::nesting::{reconstruct, reconstruct_reference, reconstruct_sharded};
+use osn_analysis::noise::NoiseAnalysis;
 use osn_analysis::stats::EventStats;
 use osn_analysis::timeline::build_timelines;
 use osn_kernel::activity::Activity;
@@ -23,9 +24,9 @@ fn activity() -> impl Strategy<Value = Activity> {
 
 /// A random well-formed nesting structure on one CPU: a bracket
 /// sequence with strictly increasing timestamps.
-fn nested_stream() -> impl Strategy<Value = Vec<Event>> {
+fn nested_stream_on(cpu: u16) -> impl Strategy<Value = Vec<Event>> {
     // Sequence of open(true)/close(false) decisions + activities.
-    prop::collection::vec((any::<bool>(), activity(), 1u64..100), 1..120).prop_map(|steps| {
+    prop::collection::vec((any::<bool>(), activity(), 1u64..100), 1..120).prop_map(move |steps| {
         let mut events = Vec::new();
         let mut stack: Vec<Activity> = Vec::new();
         let mut t = 0u64;
@@ -35,14 +36,14 @@ fn nested_stream() -> impl Strategy<Value = Vec<Event>> {
                 stack.push(act);
                 events.push(Event {
                     t: Nanos(t),
-                    cpu: CpuId(0),
+                    cpu: CpuId(cpu),
                     tid: Tid(1),
                     kind: EventKind::KernelEnter(act),
                 });
             } else if let Some(top) = stack.pop() {
                 events.push(Event {
                     t: Nanos(t),
-                    cpu: CpuId(0),
+                    cpu: CpuId(cpu),
                     tid: Tid(1),
                     kind: EventKind::KernelExit(top),
                 });
@@ -53,11 +54,124 @@ fn nested_stream() -> impl Strategy<Value = Vec<Event>> {
             t += 1;
             events.push(Event {
                 t: Nanos(t),
-                cpu: CpuId(0),
+                cpu: CpuId(cpu),
                 tid: Tid(1),
                 kind: EventKind::KernelExit(top),
             });
         }
+        events
+    })
+}
+
+fn nested_stream() -> impl Strategy<Value = Vec<Event>> {
+    nested_stream_on(0)
+}
+
+/// Like [`nested_stream_on`] but timestamps may repeat (`dt` can be 0),
+/// producing zero-width frames and nesting chains entered/exited at the
+/// same instant — the degenerate sort ties the sharded paths must
+/// reproduce exactly.
+fn tied_stream_on(cpu: u16) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((any::<bool>(), activity(), 0u64..4), 1..80).prop_map(move |steps| {
+        let mut events = Vec::new();
+        let mut stack: Vec<Activity> = Vec::new();
+        let mut t = 0u64;
+        for (open, act, dt) in steps {
+            t += dt;
+            if open && stack.len() < 6 {
+                stack.push(act);
+                events.push(Event {
+                    t: Nanos(t),
+                    cpu: CpuId(cpu),
+                    tid: Tid(1),
+                    kind: EventKind::KernelEnter(act),
+                });
+            } else if let Some(top) = stack.pop() {
+                events.push(Event {
+                    t: Nanos(t),
+                    cpu: CpuId(cpu),
+                    tid: Tid(1),
+                    kind: EventKind::KernelExit(top),
+                });
+            }
+        }
+        while let Some(top) = stack.pop() {
+            events.push(Event {
+                t: Nanos(t),
+                cpu: CpuId(cpu),
+                tid: Tid(1),
+                kind: EventKind::KernelExit(top),
+            });
+        }
+        events
+    })
+}
+
+/// A scheduler stream on one CPU: random switches between a few tasks
+/// (tids 1..=ntasks) and the idle loop.
+fn sched_stream_on(cpu: u16, ntasks: u32) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((1u64..40, 0u32..=ntasks, 0u16..5), 0..40).prop_map(move |steps| {
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        let mut cur = Tid::IDLE;
+        for (dt, next, state_code) in steps {
+            t += dt;
+            let next = if next == 0 { Tid::IDLE } else { Tid(next) };
+            if next == cur {
+                continue;
+            }
+            let state = SwitchState::from_code(state_code % 5).expect("codes 0..5 valid");
+            events.push(Event {
+                t: Nanos(t),
+                cpu: CpuId(cpu),
+                tid: cur,
+                kind: EventKind::SchedSwitch {
+                    prev: cur,
+                    prev_state: state,
+                    next,
+                },
+            });
+            cur = next;
+        }
+        events
+    })
+}
+
+/// Several CPUs of tie-heavy kernel frames interleaved with scheduler
+/// activity, merged into one `(t, cpu)`-ordered trace.
+fn noisy_trace() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec((tied_stream_on(0), sched_stream_on(0, 3)), 1..4).prop_map(|cpus| {
+        let mut events: Vec<Event> = Vec::new();
+        for (cpu, (frames, scheds)) in cpus.into_iter().enumerate() {
+            for mut e in frames {
+                e.cpu = CpuId(cpu as u16);
+                events.push(e);
+            }
+            for mut e in scheds {
+                e.cpu = CpuId(cpu as u16);
+                events.push(e);
+            }
+        }
+        events.sort_by_key(|e| e.key());
+        events
+    })
+}
+
+/// Well-formed nesting structures on several CPUs, merged into one
+/// `(t, cpu)`-ordered trace.
+fn multi_cpu_stream() -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(nested_stream_on(0), 1..5).prop_map(|streams| {
+        let mut events: Vec<Event> = streams
+            .into_iter()
+            .enumerate()
+            .flat_map(|(cpu, stream)| {
+                stream.into_iter().map(move |mut e| {
+                    e.cpu = CpuId(cpu as u16);
+                    e
+                })
+            })
+            .collect();
+        events.sort_by_key(|e| e.key());
         events
     })
 }
@@ -125,6 +239,75 @@ proptest! {
                 })
                 .count();
             prop_assert_eq!(parents, 1, "instance {:?} parentless", inner);
+        }
+    }
+
+    /// The sharded reconstruction is bit-identical to the retained
+    /// sequential reference, for any worker budget.
+    #[test]
+    fn sharded_reconstruct_matches_reference(
+        events in multi_cpu_stream(),
+        workers in 1usize..5,
+    ) {
+        let trace = Trace::new(events, vec![]);
+        let reference = reconstruct_reference(&trace);
+        prop_assert_eq!(reconstruct_sharded(&trace, workers), reference.clone());
+        prop_assert_eq!(reconstruct(&trace), reference);
+    }
+
+    /// Open-order emission handles the degenerate ties (zero-width
+    /// frames, chains entered/exited at the same instant) identically
+    /// to the reference's stable sort of close-order emission.
+    #[test]
+    fn tied_reconstruct_matches_reference(
+        streams in prop::collection::vec(tied_stream_on(0), 1..4),
+        workers in 1usize..4,
+    ) {
+        let mut events: Vec<Event> = streams
+            .into_iter()
+            .enumerate()
+            .flat_map(|(cpu, stream)| {
+                stream.into_iter().map(move |mut e| {
+                    e.cpu = CpuId(cpu as u16);
+                    e
+                })
+            })
+            .collect();
+        events.sort_by_key(|e| e.key());
+        let trace = Trace::new(events, vec![]);
+        prop_assert_eq!(reconstruct_sharded(&trace, workers), reconstruct_reference(&trace));
+    }
+
+    /// The full parallel engine — sharded reconstruction, partitioned
+    /// timelines, per-context index, async-instance gap index — is
+    /// bit-identical to the sequential reference on arbitrary traces
+    /// mixing tie-heavy kernel frames with scheduler churn.
+    #[test]
+    fn analysis_matches_reference(events in noisy_trace(), workers in 1usize..4) {
+        let end = events.last().map(|e| e.t + Nanos(10)).unwrap_or(Nanos(100));
+        let trace = Trace::new(events, vec![]);
+        let tasks: Vec<TaskMeta> = (1..=3u32)
+            .map(|i| TaskMeta {
+                tid: Tid(i),
+                name: format!("t{i}"),
+                kind: "app".into(),
+                job: None,
+                rank: 0,
+                user_time: Nanos::ZERO,
+                faults: 0,
+            })
+            .collect();
+        let engine = NoiseAnalysis::analyze_with_workers(&trace, &tasks, end, workers);
+        let reference = NoiseAnalysis::analyze_reference(&trace, &tasks, end);
+        prop_assert_eq!(&engine.instances, &reference.instances);
+        prop_assert_eq!(&engine.nesting_report, &reference.nesting_report);
+        prop_assert_eq!(engine.tasks.len(), reference.tasks.len());
+        for (tid, tn) in &engine.tasks {
+            let rn = &reference.tasks[tid];
+            prop_assert_eq!(&tn.interruptions, &rn.interruptions);
+            prop_assert_eq!(tn.runnable_time, rn.runnable_time);
+            prop_assert_eq!(tn.running_time, rn.running_time);
+            prop_assert_eq!(tn.wall, rn.wall);
         }
     }
 

@@ -24,7 +24,10 @@ fn bench_simulator(c: &mut Criterion) {
         b.iter(|| {
             let cfg = NodeConfig::default().with_horizon(Nanos::from_secs(2));
             let mut node = Node::new(cfg);
-            node.spawn_job("amg", osn_workloads::ranks(App::Amg, 8, Nanos::from_millis(500)));
+            node.spawn_job(
+                "amg",
+                osn_workloads::ranks(App::Amg, 8, Nanos::from_millis(500)),
+            );
             black_box(node.run(&mut NullProbe))
         });
     });

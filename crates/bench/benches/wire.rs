@@ -22,10 +22,7 @@ fn synthetic_trace(n: usize) -> Trace {
             },
         })
         .collect();
-    Trace {
-        events,
-        lost: vec![0; 8],
-    }
+    Trace::new(events, vec![0; 8])
 }
 
 fn bench_wire(c: &mut Criterion) {

@@ -27,7 +27,11 @@ fn main() {
         (run.wall(), b)
     };
 
-    println!("== idle-core ablation: {} ({}s sim) ==", app.name().to_uppercase(), dur.as_secs_f64());
+    println!(
+        "== idle-core ablation: {} ({}s sim) ==",
+        app.name().to_uppercase(),
+        dur.as_secs_f64()
+    );
     let (wall8, b8) = run(8, None);
     println!(
         "  8 ranks, shared CPUs:   wall {}  noise/run {:.3}%  preemption {:.1}%",

@@ -92,14 +92,21 @@ fn run_job(granularity: Nanos, with_injector: bool, seed: u64) -> Nanos {
     }
     let mut probe = JobEndProbe::default();
     node.run(&mut probe);
-    assert!(probe.exits >= 8, "job did not finish: {} exits", probe.exits);
+    assert!(
+        probe.exits >= 8,
+        "job did not finish: {} exits",
+        probe.exits
+    );
     probe.job_end
 }
 
 fn main() {
     let seed = osn_bench::seed();
     println!("== resonance: 1 ms burst every 10 ms vs BSP granularity ==");
-    println!("{:>14} {:>12} {:>12} {:>10}", "granularity", "clean", "noisy", "slowdown");
+    println!(
+        "{:>14} {:>12} {:>12} {:>10}",
+        "granularity", "clean", "noisy", "slowdown"
+    );
     for g_us in [1_000u64, 3_000, 9_000, 10_000, 11_000, 30_000, 100_000] {
         let g = Nanos::from_micros(g_us);
         let clean = run_job(g, false, seed);

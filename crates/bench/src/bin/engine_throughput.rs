@@ -179,7 +179,8 @@ fn main() {
         let (_, ev_heap, stale) = timed_run(app, sim, seed, QueueKind::Heap);
         let (_, ev_wheel, _) = timed_run(app, sim, seed, QueueKind::Wheel);
         assert_eq!(
-            ev_heap, ev_wheel,
+            ev_heap,
+            ev_wheel,
             "{}: heap and wheel dispatched different event counts",
             app.name()
         );

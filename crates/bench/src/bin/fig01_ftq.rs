@@ -24,12 +24,8 @@ fn main() {
     println!("{}", render_spikes(&ftq_series, 12));
 
     println!("== Fig 1b: Synthetic OS noise chart (LTTng-noise) ==");
-    let chart_series: Vec<(Nanos, Nanos)> = exp
-        .chart
-        .points
-        .iter()
-        .map(|p| (p.t, p.noise))
-        .collect();
+    let chart_series: Vec<(Nanos, Nanos)> =
+        exp.chart.points.iter().map(|p| (p.t, p.noise)).collect();
     println!("{}", render_spikes(&chart_series, 12));
 
     // Fig 1c/1d: zoom around the largest FTQ spike.
@@ -59,7 +55,10 @@ fn main() {
     println!("\n== §III-C agreement ==");
     println!("  FTQ estimate total:    {ftq_total}");
     println!("  Traced noise total:    {traced_total}");
-    println!("  correlation:           {:.4}", exp.comparison.correlation());
+    println!(
+        "  correlation:           {:.4}",
+        exp.comparison.correlation()
+    );
     println!(
         "  FTQ >= traced quanta:  {:.1}% (FTQ slightly overestimates)",
         exp.comparison.overestimate_fraction() * 100.0

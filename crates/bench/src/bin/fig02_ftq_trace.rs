@@ -37,5 +37,8 @@ fn main() {
     );
     let records = paraver::parse_prv(&full).expect("valid prv").len();
     println!("\n== Fig 2a: execution trace ==");
-    println!("  Paraver export: {} records over {}", records, exp.result.end_time);
+    println!(
+        "  Paraver export: {} records over {}",
+        records, exp.result.end_time
+    );
 }

@@ -19,7 +19,15 @@ fn main() {
         );
         println!("{}", render_histogram(&h, 50));
         let modes = h.modes(0.25);
-        println!("  modes at bins {:?} -> {}", modes, if modes.len() >= 2 { "bimodal" } else { "one-sided" });
+        println!(
+            "  modes at bins {:?} -> {}",
+            modes,
+            if modes.len() >= 2 {
+                "bimodal"
+            } else {
+                "one-sided"
+            }
+        );
         println!();
     }
 }

@@ -26,7 +26,11 @@ fn main() {
             .map(|(i, _)| i)
             .unwrap_or(0);
         let mode = h.centers()[mode_bin];
-        println!("  mode ~{} vs binned mean {} (long tail)", mode, h.binned_mean());
+        println!(
+            "  mode ~{} vs binned mean {} (long tail)",
+            mode,
+            h.binned_mean()
+        );
         println!();
     }
 }

@@ -10,9 +10,7 @@ use osn_core::workloads::App;
 fn main() {
     let run = load_or_run(App::Amg);
     let pairs = fig10_pairs(&run, Nanos(60), 10);
-    println!(
-        "== Fig 10: confusable interruption pairs in AMG (tolerance 60 ns) ==",
-    );
+    println!("== Fig 10: confusable interruption pairs in AMG (tolerance 60 ns) ==",);
     for p in &pairs {
         println!(
             "  A: t={} noise={} cause={}  |  B: t={} noise={} cause={}",

@@ -23,9 +23,17 @@ fn main() {
     let series = fwq_series_from_trace(&trace, &params).expect("series");
     let noise = series.noise();
     let clean = noise.iter().filter(|n| n.is_zero()).count();
-    println!("FWQ: {} iterations of {} fixed work", series.walls.len(), params.work);
+    println!(
+        "FWQ: {} iterations of {} fixed work",
+        series.walls.len(),
+        params.work
+    );
     println!("  total noise: {}", series.total_noise());
-    println!("  clean iterations: {} ({:.1}%)", clean, 100.0 * clean as f64 / noise.len() as f64);
+    println!(
+        "  clean iterations: {} ({:.1}%)",
+        clean,
+        100.0 * clean as f64 / noise.len() as f64
+    );
     let spikes = series.spikes(Nanos::from_micros(1));
     println!("  {} iterations with >1us noise; largest:", spikes.len());
     let mut top = spikes.clone();

@@ -10,14 +10,22 @@ use osn_core::ExperimentConfig;
 fn main() {
     let dur = osn_bench::duration().min(Nanos::from_secs(5));
     let mut total = 0.0;
-    println!("== LTTng-noise instrumentation overhead (probe cost {LTTNG_CLASS_OVERHEAD:?}/event) ==");
+    println!(
+        "== LTTng-noise instrumentation overhead (probe cost {LTTNG_CLASS_OVERHEAD:?}/event) =="
+    );
     for app in App::ALL {
         let config = ExperimentConfig::paper(app, dur).with_seed(osn_bench::seed());
         let seeds: Vec<u64> = (0..6).map(|i| osn_bench::seed() + i * 7919).collect();
         let report = measure_overhead_avg(&config.node, LTTNG_CLASS_OVERHEAD, &seeds, |node_cfg| {
             let mut node = Node::new(node_cfg);
-            node.spawn_job(app.name(), osn_core::workloads::ranks(app, config.nranks, dur));
-            for (i, h) in osn_core::workloads::helpers(app, dur).into_iter().enumerate() {
+            node.spawn_job(
+                app.name(),
+                osn_core::workloads::ranks(app, config.nranks, dur),
+            );
+            for (i, h) in osn_core::workloads::helpers(app, dur)
+                .into_iter()
+                .enumerate()
+            {
                 node.spawn_process(&format!("python.{i}"), h);
             }
             node
@@ -31,5 +39,8 @@ fn main() {
         );
         total += report.percent();
     }
-    println!("  average: {:.4}% (paper: ~0.28%)", total / App::ALL.len() as f64);
+    println!(
+        "  average: {:.4}% (paper: ~0.28%)",
+        total / App::ALL.len() as f64
+    );
 }

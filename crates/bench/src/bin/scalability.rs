@@ -13,7 +13,10 @@ fn main() {
     for app in osn_core::workloads::App::ALL {
         let run = osn_bench::load_or_run(app);
         println!("== {} ==", app.name().to_uppercase());
-        for (label, g) in [("fine, 1ms", Nanos::from_millis(1)), ("coarse, 100ms", Nanos::from_millis(100))] {
+        for (label, g) in [
+            ("fine, 1ms", Nanos::from_millis(1)),
+            ("coarse, 100ms", Nanos::from_millis(100)),
+        ] {
             let model = ScaleModel::from_run(&run, g);
             print!("  {label:>14}:");
             for p in model.curve(&nodes, 2_000, osn_bench::seed()) {

@@ -8,5 +8,7 @@ fn main() {
     let report = PaperReport::build(&runs);
     println!("== Table II: {} ==", EventClass::NetworkInterrupt.name());
     println!("{}", report.render_table(EventClass::NetworkInterrupt));
-    println!("note: network interrupt handler (paper: AMG 116/s avg 1552ns, ~350us maxima on every app)");
+    println!(
+        "note: network interrupt handler (paper: AMG 116/s avg 1552ns, ~350us maxima on every app)"
+    );
 }

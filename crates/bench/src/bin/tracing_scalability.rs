@@ -17,14 +17,16 @@ fn main() {
     let app = App::Amg;
     let dur = Nanos::from_secs(4);
     let nodes = 16usize;
-    println!("== §III-B: tracing a subset of a {nodes}-node cluster ({}) ==", app.name());
+    println!(
+        "== §III-B: tracing a subset of a {nodes}-node cluster ({}) ==",
+        app.name()
+    );
 
     // Run the "cluster": one simulated node per seed, in parallel.
     let runs: Vec<AppRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nodes)
             .map(|i| {
-                let config =
-                    ExperimentConfig::paper(app, dur).with_seed(0x0511_2011 + i as u64);
+                let config = ExperimentConfig::paper(app, dur).with_seed(0x0511_2011 + i as u64);
                 scope.spawn(move || run_app(config))
             })
             .collect();

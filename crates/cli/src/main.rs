@@ -101,7 +101,10 @@ fn cmd_campaign(args: &Args) -> ExitCode {
     let mut config = CampaignConfig::paper(args.secs());
     config.seed = args.seed();
     let (_runs, report) = campaign_report(&config);
-    println!("== Fig 3: OS noise breakdown ==\n{}", report.render_breakdown());
+    println!(
+        "== Fig 3: OS noise breakdown ==\n{}",
+        report.render_breakdown()
+    );
     for (label, class) in [
         ("Table I: page faults", EventClass::PageFault),
         ("Table II: network interrupts", EventClass::NetworkInterrupt),
@@ -165,7 +168,10 @@ fn cmd_app(args: &Args) -> ExitCode {
     let observed = run.observed_rank();
     if let Some(meta) = run.result.tasks.iter().find(|m| m.tid == observed) {
         println!("\n== observed process detail ==");
-        print!("{}", osn_core::analysis::report::task_report(&run.analysis, meta));
+        print!(
+            "{}",
+            osn_core::analysis::report::task_report(&run.analysis, meta)
+        );
     }
     ExitCode::SUCCESS
 }
@@ -179,7 +185,11 @@ fn cmd_ftq(args: &Args) -> ExitCode {
     let (params, node) = fig1_config(samples);
     let exp = run_ftq(params, node.with_seed(args.seed()));
     let (ftq_total, traced_total) = exp.comparison.totals();
-    println!("FTQ: {} quanta of {}", exp.series.ops.len(), exp.series.quantum);
+    println!(
+        "FTQ: {} quanta of {}",
+        exp.series.ops.len(),
+        exp.series.quantum
+    );
     println!("  N_max = {} ops/quantum", exp.series.n_max());
     println!("  FTQ noise estimate:  {ftq_total}");
     println!("  traced noise:        {traced_total}");
@@ -305,7 +315,11 @@ fn cmd_signature(args: &Args) -> ExitCode {
             e.share * 100.0
         );
     }
-    if let Some(other_seed) = args.flags.get("against").and_then(|s| s.parse::<u64>().ok()) {
+    if let Some(other_seed) = args
+        .flags
+        .get("against")
+        .and_then(|s| s.parse::<u64>().ok())
+    {
         let other = run_app(ExperimentConfig::paper(app, args.secs()).with_seed(other_seed));
         let other_sig = NoiseSignature::build(&other.analysis, &other.ranks);
         println!(
@@ -373,7 +387,10 @@ fn cmd_overhead(args: &Args) -> ExitCode {
         let report = measure_overhead_avg(&config.node, LTTNG_CLASS_OVERHEAD, &seeds, |node_cfg| {
             let mut node = Node::new(node_cfg);
             node.spawn_job(app.name(), osn_core::workloads::ranks(app, nranks, dur));
-            for (i, h) in osn_core::workloads::helpers(app, dur).into_iter().enumerate() {
+            for (i, h) in osn_core::workloads::helpers(app, dur)
+                .into_iter()
+                .enumerate()
+            {
                 node.spawn_process(&format!("python.{i}"), h);
             }
             node
@@ -387,6 +404,9 @@ fn cmd_overhead(args: &Args) -> ExitCode {
         );
         total += report.percent();
     }
-    println!("average: {:.4}% (paper: ~0.28%)", total / App::ALL.len() as f64);
+    println!(
+        "average: {:.4}% (paper: ~0.28%)",
+        total / App::ALL.len() as f64
+    );
     ExitCode::SUCCESS
 }

@@ -82,7 +82,9 @@ pub fn run_campaign(config: &CampaignConfig) -> Vec<AppRun> {
     for (idx, run) in rx {
         runs[idx] = Some(run);
     }
-    runs.into_iter().map(|r| r.expect("worker panicked")).collect()
+    runs.into_iter()
+        .map(|r| r.expect("worker panicked"))
+        .collect()
 }
 
 /// Convenience: run the campaign and build the paper report.

@@ -58,12 +58,7 @@ impl AppRun {
     /// The wall basis for per-rank frequencies: the longest rank
     /// extent.
     pub fn wall(&self) -> Nanos {
-        self.ranks
-            .iter()
-            .filter_map(|t| self.analysis.tasks.get(t))
-            .map(|tn| tn.wall)
-            .max()
-            .unwrap_or(Nanos::ZERO)
+        wall_of(&self.analysis, &self.ranks)
     }
 
     /// The *observed process* for the paper's per-process tables: the
@@ -72,22 +67,39 @@ impl AppRun {
     /// equal to the node's RPC response rate — correspond to tracing
     /// the process co-located with the interrupt CPU).
     pub fn observed_rank(&self) -> Tid {
-        use osn_analysis::timeline::Phase;
-        let irq_cpu = self.config.node.net_irq_cpu;
-        self.ranks
-            .iter()
-            .copied()
-            .max_by_key(|tid| {
-                self.analysis
-                    .timelines
-                    .get(*tid)
-                    .map(|tl| {
-                        tl.time_where(|p| p == Phase::Running(irq_cpu)).as_nanos()
-                    })
-                    .unwrap_or(0)
-            })
-            .unwrap_or(Tid::IDLE)
+        observed_rank_of(&self.analysis, &self.ranks, self.config.node.net_irq_cpu)
     }
+}
+
+/// [`AppRun::wall`] against an arbitrary analysis of the same run (the
+/// report's reference path recomputes the analysis independently).
+pub fn wall_of(analysis: &NoiseAnalysis, ranks: &[Tid]) -> Nanos {
+    ranks
+        .iter()
+        .filter_map(|t| analysis.tasks.get(t))
+        .map(|tn| tn.wall)
+        .max()
+        .unwrap_or(Nanos::ZERO)
+}
+
+/// [`AppRun::observed_rank`] against an arbitrary analysis.
+pub fn observed_rank_of(
+    analysis: &NoiseAnalysis,
+    ranks: &[Tid],
+    irq_cpu: osn_kernel::ids::CpuId,
+) -> Tid {
+    use osn_analysis::timeline::Phase;
+    ranks
+        .iter()
+        .copied()
+        .max_by_key(|tid| {
+            analysis
+                .timelines
+                .get(*tid)
+                .map(|tl| tl.time_where(|p| p == Phase::Running(irq_cpu)).as_nanos())
+                .unwrap_or(0)
+        })
+        .unwrap_or(Tid::IDLE)
 }
 
 /// Run one application under full tracing and analyze the trace.
@@ -133,7 +145,11 @@ mod tests {
         config.nranks = 4;
         let run = run_app(config);
         assert_eq!(run.ranks.len(), 4);
-        assert!(run.trace.len() > 100, "trace has {} events", run.trace.len());
+        assert!(
+            run.trace.len() > 100,
+            "trace has {} events",
+            run.trace.len()
+        );
         assert_eq!(run.trace.total_lost(), 0, "ring too small");
         assert!(run.analysis.nesting_report.is_clean());
         // Every rank accumulated some noise.

@@ -3,7 +3,9 @@
 //! disambiguation demonstrations of §V (Figs 9 and 10).
 
 use osn_analysis::chart::NoiseChart;
-use osn_analysis::disambiguate::{composite_interruptions, confusable_pairs, Composite, ConfusablePair};
+use osn_analysis::disambiguate::{
+    composite_interruptions, confusable_pairs, Composite, ConfusablePair,
+};
 use osn_analysis::noise::{Interruption, NoiseAnalysis};
 use osn_ftq::series::{FtqComparison, FtqSeries};
 use osn_ftq::sim::{series_from_trace, FtqParams, FtqWorkload};
@@ -96,9 +98,7 @@ pub fn fig2_interruption(exp: &FtqExperiment) -> Option<&Interruption> {
 /// §V-B / Fig 9: quanta whose single FTQ spike hides multiple distinct
 /// event classes *within one interruption*.
 pub fn fig9_composites(exp: &FtqExperiment) -> Vec<Composite> {
-    let interruptions = exp
-        .analysis
-        .interruptions_of(&[exp.ftq_tid]);
+    let interruptions = exp.analysis.interruptions_of(&[exp.ftq_tid]);
     composite_interruptions(&interruptions, 2)
 }
 
@@ -133,9 +133,7 @@ pub fn fig9_quantum_composites(
     per_quantum
         .into_iter()
         .enumerate()
-        .filter(|(_, events)| {
-            events.len() >= 2 && events.iter().any(|(c, _)| *c != events[0].0)
-        })
+        .filter(|(_, events)| events.len() >= 2 && events.iter().any(|(c, _)| *c != events[0].0))
         .collect()
 }
 
@@ -198,9 +196,6 @@ mod tests {
             .with_horizon(Nanos::from_millis(600));
         let exp = run_ftq(params, node);
         let composites = fig9_composites(&exp);
-        assert!(
-            !composites.is_empty(),
-            "no composite interruptions found"
-        );
+        assert!(!composites.is_empty(), "no composite interruptions found");
     }
 }

@@ -20,7 +20,9 @@ pub mod scale;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
 pub use experiment::{run_app, AppRun, ExperimentConfig};
-pub use figures::{fig10_pairs, fig1_config, fig2_interruption, fig9_composites, run_ftq, FtqExperiment};
+pub use figures::{
+    fig10_pairs, fig1_config, fig2_interruption, fig9_composites, run_ftq, FtqExperiment,
+};
 pub use report::{AppReport, PaperReport};
 pub use scale::{ScaleModel, ScalePoint};
 

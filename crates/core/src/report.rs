@@ -6,14 +6,15 @@ use std::fmt::Write as _;
 
 use osn_analysis::breakdown::Breakdown;
 use osn_analysis::histogram::Histogram;
-use osn_analysis::stats::{class_samples, class_stats, EventClass, EventStats};
+use osn_analysis::stats::{class_samples, class_stats, job_stats, EventClass, EventStats};
+use osn_analysis::NoiseAnalysis;
 use osn_kernel::activity::NoiseCategory;
 use osn_kernel::time::Nanos;
 use osn_workloads::App;
 
 use serde::{Deserialize, Serialize};
 
-use crate::experiment::AppRun;
+use crate::experiment::{observed_rank_of, wall_of, AppRun};
 
 /// Everything the paper reports about one application.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -39,32 +40,77 @@ pub struct AppReport {
     pub timer_softirq_hist: Histogram,
 }
 
+/// Histogram shapes of Figs 4, 6 and 8.
+const FAULT_BINS: usize = 60;
+const REBALANCE_BINS: usize = 40;
+const TIMER_SOFTIRQ_BINS: usize = 40;
+const HIST_PCT: f64 = 99.0;
+
 impl AppReport {
+    /// Assemble the report from the run's (sharded-engine) analysis
+    /// via the fused single statistics pass — one walk over the
+    /// interruption components instead of the breakdown + ten
+    /// class-stats + three histogram-sample passes of
+    /// [`AppReport::build_reference`].
     pub fn build(run: &AppRun) -> AppReport {
+        Self::build_with(run, &run.analysis)
+    }
+
+    /// The fused assembly against an independently supplied analysis
+    /// (the throughput bench re-times the whole analyze+report phase).
+    pub fn build_with(run: &AppRun, analysis: &NoiseAnalysis) -> AppReport {
         let nranks = run.ranks.len().max(1);
-        let b = Breakdown::compute(&run.analysis, &run.ranks);
-        let observed = [run.observed_rank()];
+        let observed = [observed_rank_of(
+            analysis,
+            &run.ranks,
+            run.config.node.net_irq_cpu,
+        )];
+        let js = job_stats(analysis, &run.ranks, &observed);
+        AppReport {
+            app: run.app,
+            nranks,
+            wall: wall_of(analysis, &run.ranks),
+            breakdown: js.breakdown.fractions(),
+            noise_ratio: js.breakdown.noise_ratio(),
+            classes: js.classes,
+            fault_hist: Histogram::build(&js.fault_samples, FAULT_BINS, HIST_PCT),
+            rebalance_hist: Histogram::build(&js.rebalance_samples, REBALANCE_BINS, HIST_PCT),
+            timer_softirq_hist: Histogram::build(
+                &js.timer_softirq_samples,
+                TIMER_SOFTIRQ_BINS,
+                HIST_PCT,
+            ),
+        }
+    }
+
+    /// The retained multi-pass assembly (the pre-fusion seed path),
+    /// over an independently supplied analysis — the differential-test
+    /// oracle and benchmark baseline.
+    pub fn build_reference(run: &AppRun, analysis: &NoiseAnalysis) -> AppReport {
+        let nranks = run.ranks.len().max(1);
+        let b = Breakdown::compute(analysis, &run.ranks);
+        let observed = [observed_rank_of(
+            analysis,
+            &run.ranks,
+            run.config.node.net_irq_cpu,
+        )];
         let classes = EventClass::ALL
             .iter()
-            .map(|class| (*class, class_stats(&run.analysis, &observed, *class)))
+            .map(|class| (*class, class_stats(analysis, &observed, *class)))
             .collect();
         let hist = |class: EventClass, bins: usize| {
-            Histogram::build(
-                &class_samples(&run.analysis, &run.ranks, class),
-                bins,
-                99.0,
-            )
+            Histogram::build(&class_samples(analysis, &run.ranks, class), bins, HIST_PCT)
         };
         AppReport {
             app: run.app,
             nranks,
-            wall: run.wall(),
+            wall: wall_of(analysis, &run.ranks),
             breakdown: b.fractions(),
             noise_ratio: b.noise_ratio(),
             classes,
-            fault_hist: hist(EventClass::PageFault, 60),
-            rebalance_hist: hist(EventClass::RebalanceDomains, 40),
-            timer_softirq_hist: hist(EventClass::RunTimerSoftirq, 40),
+            fault_hist: hist(EventClass::PageFault, FAULT_BINS),
+            rebalance_hist: hist(EventClass::RebalanceDomains, REBALANCE_BINS),
+            timer_softirq_hist: hist(EventClass::RunTimerSoftirq, TIMER_SOFTIRQ_BINS),
         }
     }
 
@@ -95,6 +141,27 @@ impl PaperReport {
     pub fn build(runs: &[AppRun]) -> PaperReport {
         PaperReport {
             apps: runs.iter().map(AppReport::build).collect(),
+        }
+    }
+
+    /// Rebuild the full report through the retained sequential engine:
+    /// every run is re-analyzed with
+    /// [`NoiseAnalysis::analyze_reference`] and assembled with the
+    /// multi-pass [`AppReport::build_reference`]. The differential test
+    /// asserts this is bit-identical to [`PaperReport::build`].
+    pub fn build_reference(runs: &[AppRun]) -> PaperReport {
+        PaperReport {
+            apps: runs
+                .iter()
+                .map(|run| {
+                    let analysis = NoiseAnalysis::analyze_reference(
+                        &run.trace,
+                        &run.result.tasks,
+                        run.result.end_time,
+                    );
+                    AppReport::build_reference(run, &analysis)
+                })
+                .collect(),
         }
     }
 

@@ -80,9 +80,7 @@ impl ScaleModel {
         if self.windows.is_empty() {
             return Nanos::ZERO;
         }
-        Nanos(
-            self.windows.iter().map(|n| n.as_nanos()).sum::<u64>() / self.windows.len() as u64,
-        )
+        Nanos(self.windows.iter().map(|n| n.as_nanos()).sum::<u64>() / self.windows.len() as u64)
     }
 
     /// Monte-Carlo estimate of `E[max over `nodes` samples]` by

@@ -1,0 +1,78 @@
+//! Differential test for the parallel sharded analysis engine: on a
+//! real two-app paper campaign, the sharded/fused pipeline must produce
+//! a bit-identical `PaperReport` to the retained sequential reference
+//! (global reconstruction, single-walk timelines, quadratic gather,
+//! multi-pass statistics).
+
+use osn_analysis::NoiseAnalysis;
+use osn_core::campaign::{run_campaign, CampaignConfig};
+use osn_core::report::PaperReport;
+use osn_kernel::time::Nanos;
+use osn_workloads::App;
+
+#[test]
+fn parallel_engine_matches_sequential_reference() {
+    let config = CampaignConfig {
+        apps: vec![App::Sphot, App::Amg],
+        duration: Nanos::from_millis(250),
+        seed: 0x0511_2011,
+        nranks: Some(4),
+        cpus: Some(4),
+    };
+    let runs = run_campaign(&config);
+
+    for run in &runs {
+        let reference =
+            NoiseAnalysis::analyze_reference(&run.trace, &run.result.tasks, run.result.end_time);
+
+        // Intermediate layers are already identical, not just the final
+        // report: instances, anomaly counts, and per-task noise.
+        assert_eq!(
+            run.analysis.instances,
+            reference.instances,
+            "{}: instance lists differ",
+            run.app.name()
+        );
+        assert_eq!(
+            run.analysis.nesting_report,
+            reference.nesting_report,
+            "{}: nesting reports differ",
+            run.app.name()
+        );
+        assert_eq!(
+            run.analysis.tasks.len(),
+            reference.tasks.len(),
+            "{}: analyzed task sets differ",
+            run.app.name()
+        );
+        for (tid, tn) in &run.analysis.tasks {
+            let rn = reference
+                .tasks
+                .get(tid)
+                .unwrap_or_else(|| panic!("{}: {tid} missing in reference", run.app.name()));
+            assert_eq!(
+                tn.interruptions,
+                rn.interruptions,
+                "{}: interruptions of {tid} differ",
+                run.app.name()
+            );
+            assert_eq!(tn.runnable_time, rn.runnable_time);
+            assert_eq!(tn.running_time, rn.running_time);
+            assert_eq!(tn.wall, rn.wall);
+        }
+        // Enough work happened for the comparison to mean something.
+        assert!(
+            !run.analysis.instances.is_empty(),
+            "{}: empty instance list",
+            run.app.name()
+        );
+    }
+
+    // End to end: the fused single-pass report equals the multi-pass
+    // reference report, bit for bit, through serialization.
+    let fused = PaperReport::build(&runs);
+    let reference = PaperReport::build_reference(&runs);
+    let fused_json = serde_json::to_string(&fused).expect("serialize fused");
+    let reference_json = serde_json::to_string(&reference).expect("serialize reference");
+    assert_eq!(fused_json, reference_json, "paper reports differ");
+}

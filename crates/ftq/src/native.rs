@@ -20,7 +20,9 @@ pub fn basic_op(seed: u64) -> u64 {
     let mut x = black_box(seed) | 1;
     // 32 dependent steps; on a ~GHz-class core this is tens of ns.
     for _ in 0..32 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         x ^= x >> 29;
     }
     black_box(x)

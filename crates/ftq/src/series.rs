@@ -141,11 +141,7 @@ impl FtqComparison {
         if self.per_quantum.is_empty() {
             return 0.0;
         }
-        let over = self
-            .per_quantum
-            .iter()
-            .filter(|(f, t)| f >= t)
-            .count();
+        let over = self.per_quantum.iter().filter(|(f, t)| f >= t).count();
         over as f64 / self.per_quantum.len() as f64
     }
 }

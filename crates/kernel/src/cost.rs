@@ -411,7 +411,10 @@ mod tests {
             avg_zero >= Nanos(2_000) && avg_zero <= Nanos(3_000),
             "zero avg {avg_zero}"
         );
-        assert!(avg_reclaim > avg_zero + Nanos(1_000), "reclaim {avg_reclaim}");
+        assert!(
+            avg_reclaim > avg_zero + Nanos(1_000),
+            "reclaim {avg_reclaim}"
+        );
     }
 
     #[test]
@@ -455,10 +458,7 @@ mod tests {
     #[test]
     fn fault_lookup_matches_kind() {
         let m = CostModels::paper_defaults();
-        assert_eq!(
-            m.fault(FaultKind::AnonZero).floor,
-            m.fault_anon_zero.floor
-        );
+        assert_eq!(m.fault(FaultKind::AnonZero).floor, m.fault_anon_zero.floor);
         assert_eq!(m.fault(FaultKind::Cow).floor, m.fault_cow.floor);
         assert_eq!(m.fault(FaultKind::FileBacked).floor, m.fault_file.floor);
         assert_eq!(

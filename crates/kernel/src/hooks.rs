@@ -86,7 +86,14 @@ pub trait Probe {
 
     /// Context switch on `cpu` from `prev` (leaving in `prev_state`) to
     /// `next`.
-    fn sched_switch(&mut self, t: Nanos, cpu: CpuId, prev: Tid, prev_state: SwitchState, next: Tid) {
+    fn sched_switch(
+        &mut self,
+        t: Nanos,
+        cpu: CpuId,
+        prev: Tid,
+        prev_state: SwitchState,
+        next: Tid,
+    ) {
     }
 
     /// Task `tid` became runnable on `cpu`'s runqueue, woken by `waker`.
@@ -228,12 +235,7 @@ mod tests {
         let mut p = CountingProbe::new(2);
         let t = Nanos(0);
         p.kernel_enter(t, CpuId(0), Tid(1), Activity::TimerInterrupt);
-        p.kernel_enter(
-            t,
-            CpuId(0),
-            Tid(1),
-            Activity::Softirq(SoftirqVec::Timer),
-        );
+        p.kernel_enter(t, CpuId(0), Tid(1), Activity::Softirq(SoftirqVec::Timer));
         assert_eq!(p.max_depth, 2);
         p.kernel_exit(t, CpuId(0), Tid(1), Activity::Softirq(SoftirqVec::Timer));
         p.kernel_exit(t, CpuId(0), Tid(1), Activity::TimerInterrupt);

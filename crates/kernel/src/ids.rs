@@ -5,9 +5,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 
 /// A CPU (hardware thread) index on the simulated compute node.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct CpuId(pub u16);
 
@@ -50,9 +48,7 @@ impl fmt::Display for Tid {
 }
 
 /// A virtual memory region handle inside one task's address space.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct RegionId(pub u32);
 

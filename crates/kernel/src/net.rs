@@ -96,7 +96,14 @@ impl RpcState {
     }
 
     /// Create and enqueue a new RPC for `rpciod`.
-    pub fn submit(&mut self, issuer: Tid, op: RpcOp, bytes: u64, blocking: bool, now: Nanos) -> RpcId {
+    pub fn submit(
+        &mut self,
+        issuer: Tid,
+        op: RpcOp,
+        bytes: u64,
+        blocking: bool,
+        now: Nanos,
+    ) -> RpcId {
         let id = RpcId(self.next_id);
         self.next_id += 1;
         self.submit_queue.push_back(Rpc {

@@ -25,10 +25,10 @@ use crate::mm::Backing;
 use crate::net::{NfsModel, Rpc, RpcOp, RpcState};
 use crate::rng::Stream;
 use crate::sched::CfsRq;
-use crate::wheel::Queue;
 use crate::softirq::SoftirqPending;
 use crate::task::{BlockReason, Body, Progress, Task, TaskMeta, TaskState};
 use crate::time::Nanos;
+use crate::wheel::Queue;
 use crate::workload::{Action, Outcome, Workload, WorkloadCtx};
 
 use serde::{Deserialize, Serialize};
@@ -42,7 +42,10 @@ enum FrameExit {
     /// High-resolution timer expiry: wake the sleeper here.
     HrTimerIrq { wake: Tid },
     /// A softirq handler with its captured work payload.
-    SoftirqDone { vec: SoftirqVec, work: SoftirqExitWork },
+    SoftirqDone {
+        vec: SoftirqVec,
+        work: SoftirqExitWork,
+    },
     /// Page fault serviced (page already marked present at entry).
     Fault,
     /// Syscall completes with this effect.
@@ -58,9 +61,13 @@ enum SoftirqExitWork {
     None,
     /// `run_timer_softirq`: queue this many work items for the events
     /// daemon (and wake it if nonzero).
-    Timers { daemon_items: u32 },
+    Timers {
+        daemon_items: u32,
+    },
     /// `net_rx_action`: completed RPCs whose issuers wake *here*.
-    Rx { rpcs: Vec<Rpc> },
+    Rx {
+        rpcs: Vec<Rpc>,
+    },
     /// `run_rebalance_domains`: attempt a pull-migration to this CPU.
     Rebalance,
 }
@@ -68,10 +75,21 @@ enum SoftirqExitWork {
 /// Deferred effect of a syscall, applied when its frame pops.
 enum SyscallEffect {
     None,
-    Mmap { backing: Backing, pages: u64 },
-    Munmap { region: crate::ids::RegionId },
-    BlockIo { op: RpcOp, bytes: u64, blocking: bool },
-    Sleep { dur: Nanos },
+    Mmap {
+        backing: Backing,
+        pages: u64,
+    },
+    Munmap {
+        region: crate::ids::RegionId,
+    },
+    BlockIo {
+        op: RpcOp,
+        bytes: u64,
+        blocking: bool,
+    },
+    Sleep {
+        dur: Nanos,
+    },
 }
 
 /// One entry on a CPU's kernel context stack.
@@ -715,9 +733,7 @@ impl Node {
             SoftirqVec::Rebalance => {
                 let scan = self.cpus[ci].pending.rebalance_scan.max(1);
                 self.cpus[ci].pending.rebalance_scan = 0;
-                let mut cost = costs
-                    .softirq_rebalance_base
-                    .sample(&mut self.s_cost, 1.0);
+                let mut cost = costs.softirq_rebalance_base.sample(&mut self.s_cost, 1.0);
                 for _ in 0..scan {
                     cost += costs.rebalance_per_task.sample(&mut self.s_cost, 1.0);
                 }
@@ -732,9 +748,7 @@ impl Node {
                     let loads: Vec<u64> = self
                         .cpus
                         .iter()
-                        .map(|c| {
-                            c.rq.load() + c.current.map_or(0, |t| self.task(t).class.weight())
-                        })
+                        .map(|c| c.rq.load() + c.current.map_or(0, |t| self.task(t).class.weight()))
                         .collect();
                     let imbalance = (loads.iter().max().copied().unwrap_or(0)
                         - loads.iter().min().copied().unwrap_or(0))
@@ -950,9 +964,8 @@ impl Node {
         let pkg = target.0 / per_pkg;
         let lo = pkg * per_pkg;
         let hi = (lo + per_pkg).min(self.cfg.cpus);
-        let idle = |c: u16| {
-            self.cpus[c as usize].current.is_none() && self.cpus[c as usize].rq.is_empty()
-        };
+        let idle =
+            |c: u16| self.cpus[c as usize].current.is_none() && self.cpus[c as usize].rq.is_empty();
         for c in lo..hi {
             if idle(c) {
                 return CpuId(c);
@@ -1128,7 +1141,11 @@ impl Node {
                 task.pending_outcome = Outcome::Done;
                 task.progress = Progress::NeedAction;
             }
-            SyscallEffect::BlockIo { op, bytes, blocking } => {
+            SyscallEffect::BlockIo {
+                op,
+                bytes,
+                blocking,
+            } => {
                 self.rpc.submit(tid, op, bytes, blocking, t);
                 if blocking {
                     let task = self.task_mut(tid);
@@ -1449,7 +1466,11 @@ impl Node {
                     tid,
                     kind,
                     base + copy,
-                    SyscallEffect::BlockIo { op, bytes, blocking },
+                    SyscallEffect::BlockIo {
+                        op,
+                        bytes,
+                        blocking,
+                    },
                 );
                 false
             }

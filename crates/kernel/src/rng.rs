@@ -220,10 +220,7 @@ impl Dist {
             }
             Dist::Mix { parts } => {
                 let total: f64 = parts.iter().map(|(w, _)| *w).sum();
-                parts
-                    .iter()
-                    .map(|(w, d)| w / total * d.mean_ns())
-                    .sum()
+                parts.iter().map(|(w, d)| w / total * d.mean_ns()).sum()
             }
         }
     }
@@ -378,8 +375,7 @@ mod tests {
     fn poisson_mean_and_zero() {
         let mut s = Stream::new(10, "poisson");
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| s.poisson(1.35) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| s.poisson(1.35) as f64).sum::<f64>() / n as f64;
         assert!((mean - 1.35).abs() < 0.05, "mean {mean}");
         assert_eq!(s.poisson(0.0), 0);
     }

@@ -169,8 +169,7 @@ impl CfsRq {
         woken_vruntime: u64,
         params: &SchedParams,
     ) -> bool {
-        let gran =
-            params.wakeup_granularity.as_nanos() * current_weight.max(1) / 1024;
+        let gran = params.wakeup_granularity.as_nanos() * current_weight.max(1) / 1024;
         woken_vruntime + gran < current_vruntime
     }
 

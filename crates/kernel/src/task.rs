@@ -297,10 +297,7 @@ mod tests {
     fn block_reason_maps_to_switch_state() {
         assert_eq!(BlockReason::Io.switch_state(), SwitchState::BlockedIo);
         assert_eq!(BlockReason::Comm.switch_state(), SwitchState::BlockedComm);
-        assert_eq!(
-            BlockReason::Sleep.switch_state(),
-            SwitchState::BlockedSleep
-        );
+        assert_eq!(BlockReason::Sleep.switch_state(), SwitchState::BlockedSleep);
         assert_eq!(BlockReason::Wait.switch_state(), SwitchState::BlockedWait);
     }
 

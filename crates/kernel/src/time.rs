@@ -24,9 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(tick / Nanos::from_micros(100), 100);
 /// assert_eq!(format!("{}", Nanos(2_178)), "2.178us");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Nanos(pub u64);
 
@@ -334,10 +332,7 @@ mod tests {
         assert!(!a.contains(Nanos(20)));
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
-        assert_eq!(
-            a.intersect(&b),
-            Some(Interval::new(Nanos(15), Nanos(20)))
-        );
+        assert_eq!(a.intersect(&b), Some(Interval::new(Nanos(15), Nanos(20))));
         assert_eq!(a.intersect(&c), None);
         assert!(Interval::new(Nanos(5), Nanos(5)).is_empty());
     }

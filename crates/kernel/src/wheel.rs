@@ -62,6 +62,10 @@ pub fn make_queue<T: 'static>(kind: QueueKind) -> Box<dyn EventQueue<T>> {
 /// compiler can inline through, instead of a virtual call (the wheel's
 /// pop fast path is a handful of instructions — a call boundary there
 /// is measurable at millions of events per second).
+// One Queue exists per engine, so the wheel's footprint inside the
+// enum costs nothing per event; boxing it would put a pointer chase on
+// the push/pop fast path instead.
+#[allow(clippy::large_enum_variant)]
 pub enum Queue<T> {
     Wheel(TimerWheel<T>),
     Heap(HeapQueue<T>),
@@ -323,7 +327,7 @@ impl<T> TimerWheel<T> {
                 let slot_vec = &mut self.levels[0][slot];
                 self.near.append(slot_vec);
                 self.near
-                    .sort_unstable_by(|a, b| (b.0, b.1).cmp(&(a.0, a.1)));
+                    .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
                 self.base = slot_start + granularity(0);
                 self.near_horizon = self.base;
                 let e = self.near.pop().expect("occupied slot drained empty");
@@ -435,9 +439,7 @@ impl<T> TimerWheel<T> {
             "near-window push below the pop frontier"
         );
         let key = (t, seq);
-        let idx = self
-            .near
-            .partition_point(|&(et, es, _)| (et, es) > key);
+        let idx = self.near.partition_point(|&(et, es, _)| (et, es) > key);
         self.near.insert(idx, (t, seq, item));
     }
 
@@ -445,7 +447,10 @@ impl<T> TimerWheel<T> {
     /// overflow minimum and refile everything (rare by construction —
     /// requires a >19 h simulated gap).
     fn refile_overflow(&mut self) {
-        debug_assert!(!self.overflow.is_empty(), "len/occupancy bookkeeping broken");
+        debug_assert!(
+            !self.overflow.is_empty(),
+            "len/occupancy bookkeeping broken"
+        );
         let min_t = self
             .overflow
             .iter()
@@ -560,7 +565,7 @@ mod tests {
             state
         };
         let mut seq = 0u64;
-        let mut clock = 0u64;
+        let mut clock;
         for _ in 0..64 {
             seq += 1;
             w.push(Nanos(next() % 10_000), seq, 0);
@@ -568,16 +573,21 @@ mod tests {
         let mut last = (0u64, 0u64);
         for _ in 0..20_000 {
             let Some((t, s, _)) = w.pop() else { break };
-            assert!((t.0, s) > last, "out of order: {:?} after {:?}", (t.0, s), last);
+            assert!(
+                (t.0, s) > last,
+                "out of order: {:?} after {:?}",
+                (t.0, s),
+                last
+            );
             last = (t.0, s);
             clock = t.0;
             for _ in 0..(next() % 3) {
                 seq += 1;
                 let dt = match next() % 4 {
-                    0 => next() % 512,                  // same/near slot
-                    1 => next() % 100_000,              // level 0/1
-                    2 => next() % 50_000_000,           // mid levels
-                    _ => next() % 40_000_000_000,       // far timers
+                    0 => next() % 512,            // same/near slot
+                    1 => next() % 100_000,        // level 0/1
+                    2 => next() % 50_000_000,     // mid levels
+                    _ => next() % 40_000_000_000, // far timers
                 };
                 w.push(Nanos(clock + dt), seq, 0);
             }

@@ -173,11 +173,7 @@ impl Workload for Script {
     }
 
     fn next(&mut self, _ctx: &mut WorkloadCtx<'_>) -> Action {
-        let action = self
-            .actions
-            .get(self.next)
-            .copied()
-            .unwrap_or(Action::Exit);
+        let action = self.actions.get(self.next).copied().unwrap_or(Action::Exit);
         self.next += 1;
         action
     }
@@ -208,12 +204,7 @@ mod tests {
         let mut rng = Stream::new(0, "t");
         let aspace = AddressSpace::new();
         let mut ctx = ctx_with(&mut rng, &aspace);
-        assert_eq!(
-            w.next(&mut ctx),
-            Action::Compute {
-                work: Nanos::MILLI
-            }
-        );
+        assert_eq!(w.next(&mut ctx), Action::Compute { work: Nanos::MILLI });
         assert_eq!(w.next(&mut ctx), Action::Exit);
         assert_eq!(w.next(&mut ctx), Action::Exit);
     }
@@ -222,10 +213,7 @@ mod tests {
     fn script_replays_then_exits() {
         let mut w = Script::new(
             "s",
-            vec![
-                Action::Compute { work: Nanos(10) },
-                Action::Barrier,
-            ],
+            vec![Action::Compute { work: Nanos(10) }, Action::Barrier],
         );
         let mut rng = Stream::new(0, "t");
         let aspace = AddressSpace::new();

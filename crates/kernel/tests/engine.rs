@@ -111,7 +111,12 @@ fn enter_exit_properly_nested_and_timestamped() {
     let timer_softirqs = probe
         .enters
         .iter()
-        .filter(|(_, _, a)| matches!(a, Activity::Softirq(osn_kernel::activity::SoftirqVec::Timer)))
+        .filter(|(_, _, a)| {
+            matches!(
+                a,
+                Activity::Softirq(osn_kernel::activity::SoftirqVec::Timer)
+            )
+        })
         .count();
     assert!(timer_irqs > 5);
     assert!(
@@ -179,7 +184,9 @@ fn read_blocks_then_wakes_via_network_path() {
     assert_eq!(result.stats.net_irqs, 1);
     // The full chain appears: read syscall, net irq, rx softirq.
     let saw = |needle: Activity| probe.enters.iter().any(|(_, _, a)| *a == needle);
-    assert!(saw(Activity::Syscall(osn_kernel::activity::SyscallKind::Read)));
+    assert!(saw(Activity::Syscall(
+        osn_kernel::activity::SyscallKind::Read
+    )));
     assert!(saw(Activity::NetworkInterrupt));
     assert!(saw(Activity::Softirq(
         osn_kernel::activity::SoftirqVec::NetRx
@@ -475,10 +482,7 @@ fn horizon_stops_unfinished_runs() {
 #[test]
 fn task_meta_reports_names_and_kinds() {
     let mut node = Node::new(small_cfg());
-    node.spawn_job(
-        "app",
-        vec![Box::new(BusyLoop::new(Nanos::from_millis(1)))],
-    );
+    node.spawn_job("app", vec![Box::new(BusyLoop::new(Nanos::from_millis(1)))]);
     let result = node.run(&mut NullProbe);
     let kinds: Vec<&str> = result.tasks.iter().map(|t| t.kind.as_str()).collect();
     assert!(kinds.contains(&"rpciod"));
@@ -497,14 +501,7 @@ fn daemon_pinning_confines_rpciod() {
         bad: u32,
     }
     impl Probe for PinProbe {
-        fn sched_switch(
-            &mut self,
-            _t: Nanos,
-            cpu: CpuId,
-            _prev: Tid,
-            _st: SwitchState,
-            next: Tid,
-        ) {
+        fn sched_switch(&mut self, _t: Nanos, cpu: CpuId, _prev: Tid, _st: SwitchState, next: Tid) {
             if next == self.rpciod && cpu != CpuId(3) {
                 self.bad += 1;
             }
@@ -559,7 +556,11 @@ fn tx_completion_cleanup_is_batched_on_irq_cpu() {
         .enters
         .iter()
         .filter(|(_, c, a)| {
-            *c == 0 && matches!(a, Activity::Softirq(osn_kernel::activity::SoftirqVec::NetTx))
+            *c == 0
+                && matches!(
+                    a,
+                    Activity::Softirq(osn_kernel::activity::SoftirqVec::NetTx)
+                )
         })
         .count();
     // 40 interrupts / batch of 4 = ~10 cleanup passes (plus submit-side

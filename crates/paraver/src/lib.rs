@@ -8,4 +8,7 @@ pub mod prv;
 pub mod row;
 pub mod states;
 
-pub use prv::{parse_prv, validate_prv, write_activity_states, write_full_prv, write_prv, write_prv_window, PrvRecord};
+pub use prv::{
+    parse_prv, validate_prv, write_activity_states, write_full_prv, write_prv, write_prv_window,
+    PrvRecord,
+};

@@ -73,10 +73,7 @@ mod tests {
                 t: Nanos(100),
                 noise: Nanos(50),
                 duration: Nanos(60),
-                components: vec![(
-                    Component::Activity(Activity::TimerInterrupt),
-                    Nanos(50),
-                )],
+                components: vec![(Component::Activity(Activity::TimerInterrupt), Nanos(50))],
             }],
         };
         let csv = chart_csv(&chart);

@@ -260,7 +260,11 @@ pub fn parse_prv(text: &str) -> Result<Vec<PrvRecord>, String> {
                 });
             }
             Some(other) => {
-                return Err(format!("line {}: unknown record type {}", lineno + 1, other))
+                return Err(format!(
+                    "line {}: unknown record type {}",
+                    lineno + 1,
+                    other
+                ))
             }
             None => {}
         }
@@ -442,15 +446,15 @@ pub fn write_prv_window(
     from: Nanos,
     to: Nanos,
 ) -> String {
-    let windowed = Trace {
-        events: trace
+    let windowed = Trace::new(
+        trace
             .events
             .iter()
             .filter(|e| e.t >= from && e.t < to)
             .cloned()
             .collect(),
-        lost: trace.lost.clone(),
-    };
+        trace.lost.clone(),
+    );
     let clipped: Vec<osn_analysis::ActivityInstance> = instances
         .iter()
         .filter(|i| i.start < to && i.end > from)

@@ -54,13 +54,47 @@ impl Event {
 }
 
 /// A complete collected trace: events in global `(t, cpu)` order plus
-/// loss accounting.
+/// loss accounting and per-CPU / per-context position indexes.
+///
+/// The indexes are built once at construction (or inherited from the
+/// k-way collection merge) so that per-CPU and per-context iteration —
+/// the access patterns of the sharded analysis engine — cost O(own
+/// events) instead of a filter over the whole trace.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
     pub events: Vec<Event>,
     /// Records dropped per CPU because its ring buffer was full
     /// (discard mode, as the paper's low-interference configuration).
     pub lost: Vec<u64>,
+    /// CPUs the trace covers: `max(lost.len(), 1 + highest cpu id)`.
+    ncpus: usize,
+    /// Positions (into `events`) of each CPU's records, in stream
+    /// order.
+    cpu_index: Vec<Vec<u32>>,
+    /// Positions of each context tid's records, sorted by tid for
+    /// binary-search lookup.
+    ctx_index: CtxIndex,
+}
+
+/// Positions of each context tid's records, sorted by tid.
+type CtxIndex = Vec<(Tid, Vec<u32>)>;
+
+fn build_indexes(events: &[Event], ncpus_hint: usize) -> (usize, Vec<Vec<u32>>, CtxIndex) {
+    let mut cpu_index: Vec<Vec<u32>> = Vec::with_capacity(ncpus_hint);
+    let mut by_ctx: std::collections::HashMap<Tid, Vec<u32>> = std::collections::HashMap::new();
+    for (pos, e) in events.iter().enumerate() {
+        let cpu = e.cpu.index();
+        if cpu >= cpu_index.len() {
+            cpu_index.resize_with(cpu + 1, Vec::new);
+        }
+        cpu_index[cpu].push(pos as u32);
+        by_ctx.entry(e.tid).or_default().push(pos as u32);
+    }
+    let ncpus = ncpus_hint.max(cpu_index.len());
+    cpu_index.resize_with(ncpus, Vec::new);
+    let mut ctx_index: Vec<(Tid, Vec<u32>)> = by_ctx.into_iter().collect();
+    ctx_index.sort_unstable_by_key(|(tid, _)| tid.0);
+    (ncpus, cpu_index, ctx_index)
 }
 
 impl Trace {
@@ -69,7 +103,36 @@ impl Trace {
             events.windows(2).all(|w| w[0].key() <= w[1].key()),
             "trace must be sorted"
         );
-        Trace { events, lost }
+        Trace::from_raw_parts(events, lost)
+    }
+
+    /// Build a trace without asserting global `(t, cpu)` order (wire
+    /// decoding must round-trip arbitrary event vectors losslessly).
+    pub fn from_raw_parts(events: Vec<Event>, lost: Vec<u64>) -> Self {
+        let (ncpus, cpu_index, ctx_index) = build_indexes(&events, lost.len());
+        Trace {
+            events,
+            lost,
+            ncpus,
+            cpu_index,
+            ctx_index,
+        }
+    }
+
+    /// Build a trace by k-way merging already time-sorted per-CPU
+    /// streams (see [`crate::merge::merge_streams`]). This is the
+    /// collection path: no global re-sort happens.
+    pub fn from_streams(streams: Vec<Vec<Event>>, lost: Vec<u64>) -> Self {
+        let nstreams = streams.len();
+        let events = crate::merge::merge_streams(streams);
+        let (ncpus, cpu_index, ctx_index) = build_indexes(&events, lost.len().max(nstreams));
+        Trace {
+            events,
+            lost,
+            ncpus,
+            cpu_index,
+            ctx_index,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -84,14 +147,44 @@ impl Trace {
         self.lost.iter().sum()
     }
 
-    /// Iterate over the events of one CPU, in time order.
-    pub fn cpu_events(&self, cpu: CpuId) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.cpu == cpu)
+    /// Number of CPUs the trace was collected from. Always at least
+    /// `1 + highest cpu id seen`; known without scanning events.
+    #[inline]
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
     }
 
-    /// Iterate over events in a task's context.
+    /// Positions (into `events`) of one CPU's records.
+    #[inline]
+    pub fn cpu_positions(&self, cpu: CpuId) -> &[u32] {
+        self.cpu_index
+            .get(cpu.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over the events of one CPU, in stream order
+    /// (index-backed: O(own events), not O(trace)).
+    pub fn cpu_events(&self, cpu: CpuId) -> impl Iterator<Item = &Event> {
+        self.cpu_positions(cpu)
+            .iter()
+            .map(move |&p| &self.events[p as usize])
+    }
+
+    /// Positions (into `events`) of one task context's records.
+    #[inline]
+    pub fn ctx_positions(&self, tid: Tid) -> &[u32] {
+        match self.ctx_index.binary_search_by_key(&tid.0, |(t, _)| t.0) {
+            Ok(i) => &self.ctx_index[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterate over events in a task's context (index-backed).
     pub fn task_events(&self, tid: Tid) -> impl Iterator<Item = &Event> {
-        self.events.iter().filter(move |e| e.tid == tid)
+        self.ctx_positions(tid)
+            .iter()
+            .map(move |&p| &self.events[p as usize])
     }
 
     /// The time span covered by the trace.

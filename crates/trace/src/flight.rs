@@ -117,10 +117,7 @@ mod tests {
             t: Nanos(i),
             cpu: CpuId(0),
             tid: Tid(1),
-            kind: EventKind::AppMark {
-                mark: 0,
-                value: i,
-            },
+            kind: EventKind::AppMark { mark: 0, value: i },
         }
     }
 

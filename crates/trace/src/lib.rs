@@ -22,6 +22,7 @@
 
 pub mod event;
 pub mod flight;
+pub mod merge;
 pub mod overhead;
 pub mod ringbuf;
 pub mod session;
@@ -29,4 +30,5 @@ pub mod wire;
 
 pub use event::{Event, EventKind, Trace};
 pub use flight::FlightRecorder;
+pub use merge::merge_streams;
 pub use session::{EventMask, TraceSession, Tracer};

@@ -1,0 +1,89 @@
+//! K-way merge of per-CPU event streams.
+//!
+//! Collection used to concatenate the per-CPU ring-buffer streams and
+//! re-sort globally — O(n log n) over the whole trace even though every
+//! stream is already time-ordered. The merge below is O(n log k) with
+//! k = number of streams, and reproduces the stable-sort order exactly:
+//! the global contract is `(t, cpu)` order ([`Event::key`]), and within
+//! one `(t, cpu)` key all records come from the same stream, whose FIFO
+//! order the merge preserves.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use osn_kernel::time::Nanos;
+
+use crate::event::Event;
+
+/// Merge already time-sorted streams into one `(t, cpu)`-ordered
+/// vector. Equivalent to concatenating the streams in order and
+/// stable-sorting by [`Event::key`], for any input where each stream is
+/// internally sorted by key.
+pub fn merge_streams(mut streams: Vec<Vec<Event>>) -> Vec<Event> {
+    streams.retain(|s| !s.is_empty());
+    match streams.len() {
+        0 => return Vec::new(),
+        1 => return streams.pop().expect("one stream"),
+        _ => {}
+    }
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    // Heap entries: (t, cpu, stream-index). The stream index both
+    // breaks key ties the way a stable sort of the concatenation would
+    // (earlier stream first) and locates the cursor to advance.
+    let mut cursors = vec![0usize; streams.len()];
+    let mut heap: BinaryHeap<Reverse<(Nanos, u16, usize)>> =
+        BinaryHeap::with_capacity(streams.len());
+    for (i, s) in streams.iter().enumerate() {
+        let (t, cpu) = s[0].key();
+        heap.push(Reverse((t, cpu, i)));
+    }
+    while let Some(Reverse((_, _, i))) = heap.pop() {
+        let cur = cursors[i];
+        out.push(streams[i][cur]);
+        let next = cur + 1;
+        cursors[i] = next;
+        if next < streams[i].len() {
+            let (t, cpu) = streams[i][next].key();
+            heap.push(Reverse((t, cpu, i)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use osn_kernel::ids::{CpuId, Tid};
+
+    fn ev(t: u64, cpu: u16) -> Event {
+        Event {
+            t: Nanos(t),
+            cpu: CpuId(cpu),
+            tid: Tid(1),
+            kind: EventKind::AppMark { mark: 0, value: 0 },
+        }
+    }
+
+    #[test]
+    fn merge_matches_stable_sort() {
+        let streams = vec![
+            vec![ev(1, 0), ev(5, 0), ev(5, 0), ev(9, 0)],
+            vec![ev(2, 1), ev(5, 1), ev(6, 1)],
+            vec![],
+            vec![ev(5, 2)],
+        ];
+        let mut expect: Vec<Event> = streams.iter().flatten().copied().collect();
+        expect.sort_by_key(|e| e.key());
+        assert_eq!(merge_streams(streams), expect);
+    }
+
+    #[test]
+    fn merge_empty_and_single() {
+        assert!(merge_streams(vec![]).is_empty());
+        assert!(merge_streams(vec![vec![], vec![]]).is_empty());
+        let one = vec![ev(3, 0), ev(4, 0)];
+        assert_eq!(merge_streams(vec![one.clone()]), one);
+    }
+}

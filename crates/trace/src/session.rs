@@ -123,7 +123,14 @@ impl Probe for Tracer {
         }
     }
 
-    fn sched_switch(&mut self, t: Nanos, cpu: CpuId, prev: Tid, prev_state: SwitchState, next: Tid) {
+    fn sched_switch(
+        &mut self,
+        t: Nanos,
+        cpu: CpuId,
+        prev: Tid,
+        prev_state: SwitchState,
+        next: Tid,
+    ) {
         if self.mask.contains(EventMask::SCHED) {
             self.emit(
                 cpu,
@@ -273,7 +280,7 @@ impl TraceSession {
     /// Finish the session: drain every ring (joining the collector if
     /// one is running) and return the merged, time-sorted trace.
     pub fn stop(mut self) -> Trace {
-        let mut per_cpu: Vec<Vec<Event>> = if let Some(col) = self.collector.take() {
+        let per_cpu: Vec<Vec<Event>> = if let Some(col) = self.collector.take() {
             col.stop.store(true, Ordering::Release);
             let mut consumers = col.handle.join().expect("collector panicked");
             let mut per_cpu: Vec<Vec<Event>> = std::mem::take(&mut *col.sink.lock());
@@ -292,16 +299,10 @@ impl TraceSession {
         };
 
         let lost: Vec<u64> = self.consumers.iter().map(|c| c.lost()).collect();
-        // K-way merge by stable sort: per-CPU streams are already in
-        // time order, and sort_by_key is stable, so intra-CPU order is
-        // preserved exactly.
-        let total: usize = per_cpu.iter().map(|v| v.len()).sum();
-        let mut events = Vec::with_capacity(total);
-        for stream in &mut per_cpu {
-            events.append(stream);
-        }
-        events.sort_by_key(|e| e.key());
-        Trace::new(events, lost)
+        // Per-CPU streams are already in time order: a k-way merge
+        // preserves the `(t, cpu)` key contract without the global
+        // O(n log n) re-sort, and the intra-CPU FIFO order exactly.
+        Trace::from_streams(per_cpu, lost)
     }
 }
 
@@ -337,8 +338,7 @@ mod tests {
 
     #[test]
     fn mask_filters_families() {
-        let (session, mut tracer) =
-            TraceSession::new(1, 64, EventMask::KERNEL);
+        let (session, mut tracer) = TraceSession::new(1, 64, EventMask::KERNEL);
         tracer.kernel_enter(Nanos(1), CpuId(0), Tid(1), Activity::TimerInterrupt);
         tracer.wakeup(Nanos(2), CpuId(0), Tid(2), Tid(1));
         tracer.app_mark(Nanos(3), CpuId(0), Tid(1), 1, 42);

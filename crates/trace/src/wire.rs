@@ -109,9 +109,8 @@ fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
     let tid = Tid(buf.get_u32_le());
     let a = buf.get_u64_le();
     let b = buf.get_u64_le();
-    let activity = |code: u64| {
-        Activity::from_code(code as u16).ok_or(WireError::BadActivity(code as u16))
-    };
+    let activity =
+        |code: u64| Activity::from_code(code as u16).ok_or(WireError::BadActivity(code as u16));
     let kind = match c {
         code::ENTER => EventKind::KernelEnter(activity(a)?),
         code::EXIT => EventKind::KernelExit(activity(a)?),
@@ -237,7 +236,7 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, WireError> {
     for _ in 0..count {
         events.push(decode_record(&mut buf)?);
     }
-    Ok(Trace { events, lost })
+    Ok(Trace::from_raw_parts(events, lost))
 }
 
 #[cfg(test)]
@@ -252,8 +251,8 @@ mod tests {
             tid: Tid(tid),
             kind,
         };
-        Trace {
-            events: vec![
+        Trace::from_raw_parts(
+            vec![
                 mk(1, 0, 1, EventKind::KernelEnter(Activity::TimerInterrupt)),
                 mk(
                     2,
@@ -302,8 +301,8 @@ mod tests {
                 ),
                 mk(8, 2, 8, EventKind::TaskExit { tid: Tid(8) }),
             ],
-            lost: vec![0, 5, 0],
-        }
+            vec![0, 5, 0],
+        )
     }
 
     #[test]
@@ -320,10 +319,7 @@ mod tests {
         let trace = sample_trace();
         let bytes = encode(&trace);
         let header = MAGIC.len() + 4 + 4 + trace.lost.len() * 8 + 8;
-        assert_eq!(
-            bytes.len(),
-            header + trace.events.len() * RECORD_BYTES
-        );
+        assert_eq!(bytes.len(), header + trace.events.len() * RECORD_BYTES);
     }
 
     #[test]
@@ -361,10 +357,7 @@ mod tests {
 
     #[test]
     fn empty_trace_roundtrips() {
-        let trace = Trace {
-            events: vec![],
-            lost: vec![],
-        };
+        let trace = Trace::from_raw_parts(vec![], vec![]);
         let back = decode(encode(&trace)).unwrap();
         assert!(back.events.is_empty());
         assert!(back.lost.is_empty());
@@ -392,10 +385,7 @@ mod tests {
                 ]
             })
             .collect();
-        let trace = Trace {
-            events,
-            lost: vec![0],
-        };
+        let trace = Trace::from_raw_parts(events, vec![0]);
         let back = decode(encode(&trace)).unwrap();
         assert_eq!(back.events, trace.events);
     }
@@ -415,21 +405,21 @@ pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<Trace> {
 #[cfg(test)]
 mod file_tests {
     use super::*;
+    use crate::EventKind;
     use osn_kernel::ids::{CpuId, Tid};
     use osn_kernel::time::Nanos;
-    use crate::EventKind;
 
     #[test]
     fn file_roundtrip() {
-        let trace = Trace {
-            events: vec![Event {
+        let trace = Trace::from_raw_parts(
+            vec![Event {
                 t: Nanos(5),
                 cpu: CpuId(0),
                 tid: Tid(1),
                 kind: EventKind::KernelEnter(Activity::TimerInterrupt),
             }],
-            lost: vec![0],
-        };
+            vec![0],
+        );
         let dir = std::env::temp_dir().join("osn-wire-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.trace");

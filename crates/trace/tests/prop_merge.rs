@@ -1,0 +1,49 @@
+//! Property test for the k-way stream merge: for any set of streams
+//! each internally sorted by `(t, cpu)`, merging must equal
+//! concatenating the streams in order and stable-sorting by the same
+//! key — the contract `TraceSession::stop` relies on.
+
+use proptest::prelude::*;
+
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::time::Nanos;
+use osn_trace::{merge_streams, Event, EventKind};
+
+proptest! {
+    #[test]
+    fn merge_equals_stable_sort(
+        raw in prop::collection::vec(
+            // Narrow (t, cpu) ranges to force plenty of key collisions
+            // within and across streams.
+            prop::collection::vec((0u64..40, 0u16..4), 0..50),
+            0..6,
+        ),
+    ) {
+        let mut uid = 0u64;
+        let streams: Vec<Vec<Event>> = raw
+            .into_iter()
+            .map(|stream| {
+                let mut events: Vec<Event> = stream
+                    .into_iter()
+                    .map(|(t, cpu)| {
+                        // Unique payload per record so reorderings of
+                        // equal keys are visible to the comparison.
+                        uid += 1;
+                        Event {
+                            t: Nanos(t),
+                            cpu: CpuId(cpu),
+                            tid: Tid(1),
+                            kind: EventKind::AppMark { mark: 0, value: uid },
+                        }
+                    })
+                    .collect();
+                events.sort_by_key(|e| e.key());
+                events
+            })
+            .collect();
+
+        let mut expect: Vec<Event> = streams.iter().flatten().copied().collect();
+        expect.sort_by_key(|e| e.key());
+        prop_assert_eq!(merge_streams(streams), expect);
+    }
+}

@@ -71,7 +71,7 @@ proptest! {
         events in prop::collection::vec(event_strategy(), 0..200),
         lost in prop::collection::vec(any::<u64>(), 0..16),
     ) {
-        let trace = Trace { events, lost };
+        let trace = Trace::from_raw_parts(events, lost);
         let decoded = decode(encode(&trace)).expect("own encoding must decode");
         prop_assert_eq!(decoded.events, trace.events);
         prop_assert_eq!(decoded.lost, trace.lost);
@@ -92,7 +92,7 @@ proptest! {
         flip_at in any::<prop::sample::Index>(),
         xor in 1u8..,
     ) {
-        let trace = Trace { events, lost: vec![0] };
+        let trace = Trace::from_raw_parts(events, vec![0]);
         let mut bytes = encode(&trace).to_vec();
         let idx = flip_at.index(bytes.len());
         bytes[idx] ^= xor;

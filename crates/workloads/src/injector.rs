@@ -97,8 +97,7 @@ mod tests {
 
     #[test]
     fn fraction_math() {
-        let spec =
-            NoiseInjector::with_fraction(Nanos::from_millis(10), 0.01, Nanos::from_secs(1));
+        let spec = NoiseInjector::with_fraction(Nanos::from_millis(10), 0.01, Nanos::from_secs(1));
         assert_eq!(spec.duration, Nanos::from_micros(100));
         assert!((spec.fraction() - 0.01).abs() < 1e-9);
     }

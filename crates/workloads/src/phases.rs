@@ -402,9 +402,9 @@ mod tests {
             actions.push(action);
             outcome = match action {
                 Action::Mmap { backing, pages } => Outcome::Mapped(aspace.mmap(backing, pages)),
-                Action::Read { bytes } | Action::Write { bytes } | Action::WriteBuffered { bytes } => {
-                    Outcome::IoDone { bytes }
-                }
+                Action::Read { bytes }
+                | Action::Write { bytes }
+                | Action::WriteBuffered { bytes } => Outcome::IoDone { bytes },
                 Action::Exit => break,
                 _ => Outcome::Done,
             };
@@ -445,7 +445,10 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, Action::Compute { .. }))
             .count();
-        let barriers = actions.iter().filter(|a| matches!(a, Action::Barrier)).count();
+        let barriers = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Barrier))
+            .count();
         assert_eq!((computes, barriers), (3, 3));
         assert_eq!(*actions.last().unwrap(), Action::Exit);
     }
@@ -454,9 +457,7 @@ mod tests {
     fn nested_loops() {
         let program = PhaseProgram::builder()
             .repeat(2, |outer| {
-                outer
-                    .mark(1, 0)
-                    .repeat(3, |inner| inner.compute(Nanos(5)))
+                outer.mark(1, 0).repeat(3, |inner| inner.compute(Nanos(5)))
             })
             .build("nested");
         assert_eq!(program.total_steps(), 2 * (1 + 3));
@@ -475,11 +476,19 @@ mod tests {
     #[test]
     fn alloc_touch_free_cycle() {
         let program = PhaseProgram::builder()
-            .repeat(2, |i| i.alloc_touch_free(Backing::AnonRecycled, 8, Nanos(100)))
+            .repeat(2, |i| {
+                i.alloc_touch_free(Backing::AnonRecycled, 8, Nanos(100))
+            })
             .build("mm");
         let actions = drive(program, 100);
-        let mmaps = actions.iter().filter(|a| matches!(a, Action::Mmap { .. })).count();
-        let touches = actions.iter().filter(|a| matches!(a, Action::Touch { .. })).count();
+        let mmaps = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Mmap { .. }))
+            .count();
+        let touches = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Touch { .. }))
+            .count();
         let munmaps = actions
             .iter()
             .filter(|a| matches!(a, Action::Munmap { .. }))
@@ -513,7 +522,9 @@ mod tests {
             .collect();
         assert_eq!(works.len(), 10);
         assert!(works.windows(2).any(|w| w[0] != w[1]));
-        assert!(works.iter().all(|w| (Nanos(8_000)..=Nanos(12_000)).contains(w)));
+        assert!(works
+            .iter()
+            .all(|w| (Nanos(8_000)..=Nanos(12_000)).contains(w)));
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl BackingMix {
             }
             x -= w;
         }
-        self.parts.last().map(|(_, b)| *b).unwrap_or(Backing::AnonFresh)
+        self.parts
+            .last()
+            .map(|(_, b)| *b)
+            .unwrap_or(Backing::AnonFresh)
     }
 }
 
@@ -134,13 +137,10 @@ impl Profile {
         let secs = duration.as_secs_f64().max(0.1);
         // Iterations sized so each is ~40 ms of compute.
         let iter_len = Nanos::from_millis(40);
-        let iterations = ((duration.as_nanos() as f64 * 0.92
-            / iter_len.as_nanos() as f64)
-            .ceil() as u64)
-            .max(1);
-        let per_iter_faults = |per_sec: f64| -> u64 {
-            ((per_sec * secs) / iterations as f64).round() as u64
-        };
+        let iterations =
+            ((duration.as_nanos() as f64 * 0.92 / iter_len.as_nanos() as f64).ceil() as u64).max(1);
+        let per_iter_faults =
+            |per_sec: f64| -> u64 { ((per_sec * secs) / iterations as f64).round() as u64 };
         match app {
             App::Amg => Profile {
                 app,
@@ -156,10 +156,7 @@ impl Profile {
                 // 69 ms reclaim-storm tail.
                 pages_per_iter: per_iter_faults(1693.0),
                 iter_mix: BackingMix {
-                    parts: vec![
-                        (0.42, Backing::AnonFresh),
-                        (0.58, Backing::AnonRecycled),
-                    ],
+                    parts: vec![(0.42, Backing::AnonFresh), (0.58, Backing::AnonRecycled)],
                 },
                 work_per_page: Nanos(900),
                 barrier_per_iter: true,
@@ -284,10 +281,7 @@ impl Profile {
                 // churn breaks COW pages and maps fresh arenas, but
                 // never triggers reclaim storms.
                 iter_mix: BackingMix {
-                    parts: vec![
-                        (0.25, Backing::AnonFresh),
-                        (0.75, Backing::CowShared),
-                    ],
+                    parts: vec![(0.25, Backing::AnonFresh), (0.75, Backing::CowShared)],
                 },
                 work_per_page: Nanos(600),
                 barrier_per_iter: true,

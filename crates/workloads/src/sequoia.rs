@@ -112,20 +112,19 @@ impl Workload for SequoiaWorkload {
                             };
                         }
                     }
-                    if self.final_region.is_none()
-                        && p.final_pages > 0 {
-                            match ctx.outcome {
-                                Outcome::Mapped(r) if Some(r) != self.init_region => {
-                                    self.final_region = Some(r);
-                                }
-                                _ => {
-                                    return Action::Mmap {
-                                        backing: p.init_backing,
-                                        pages: p.final_pages,
-                                    };
-                                }
+                    if self.final_region.is_none() && p.final_pages > 0 {
+                        match ctx.outcome {
+                            Outcome::Mapped(r) if Some(r) != self.init_region => {
+                                self.final_region = Some(r);
+                            }
+                            _ => {
+                                return Action::Mmap {
+                                    backing: p.init_backing,
+                                    pages: p.final_pages,
+                                };
                             }
                         }
+                    }
                     self.state = State::InitTouch;
                     if p.init_pages > 0 {
                         return Action::Touch {
@@ -212,7 +211,7 @@ impl Workload for SequoiaWorkload {
                     if !p.sync_io_at_start
                         && p.sync_io_every > 0
                         && p.sync_io_bytes > 0
-                        && (iter + 1 + ctx.rank as u64) % p.sync_io_every == 0
+                        && (iter + 1 + ctx.rank as u64).is_multiple_of(p.sync_io_every)
                     {
                         return Action::Write {
                             bytes: p.sync_io_bytes,
@@ -277,9 +276,7 @@ mod tests {
             };
             actions.push(action);
             outcome = match action {
-                Action::Mmap { backing, pages } => {
-                    Outcome::Mapped(aspace.mmap(backing, pages))
-                }
+                Action::Mmap { backing, pages } => Outcome::Mapped(aspace.mmap(backing, pages)),
                 Action::ComputeUntil { .. } => Outcome::Computed { user: Nanos(1) },
                 Action::Read { bytes }
                 | Action::Write { bytes }
@@ -296,7 +293,11 @@ mod tests {
         let p = App::Amg.profile(Nanos::from_millis(400));
         let w = SequoiaWorkload::new(p);
         let actions = drive(w, 10_000);
-        assert!(matches!(actions[0], Action::Read { .. }), "{:?}", actions[0]);
+        assert!(
+            matches!(actions[0], Action::Read { .. }),
+            "{:?}",
+            actions[0]
+        );
         assert!(matches!(actions.last(), Some(Action::Exit)));
         // Steady-state faulting: mmap/touch/munmap cycles present.
         let mmaps = actions
@@ -332,10 +333,7 @@ mod tests {
             "LAMMPS touches only init+final: {touch_positions:?}"
         );
         assert!(touch_positions[0] < 5, "init touch early");
-        assert!(
-            touch_positions[1] > actions.len() - 6,
-            "final touch late"
-        );
+        assert!(touch_positions[1] > actions.len() - 6, "final touch late");
         // Synchronous writes happen during the run (trajectory dumps).
         let sync_writes = actions
             .iter()

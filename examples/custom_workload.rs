@@ -70,9 +70,16 @@ fn main() {
 
     let tn = &analysis.tasks[&tid];
     let durations: Vec<Nanos> = tn.interruptions.iter().map(|i| i.noise()).collect();
-    println!("kv_server: {} interruptions, {} total noise", durations.len(), tn.total_noise());
+    println!(
+        "kv_server: {} interruptions, {} total noise",
+        durations.len(),
+        tn.total_noise()
+    );
     println!("  p50 interruption: {}", percentile(&durations, 50.0));
     println!("  p99 interruption: {}", percentile(&durations, 99.0));
-    println!("  worst interruption: {}", durations.iter().max().copied().unwrap_or(Nanos::ZERO));
+    println!(
+        "  worst interruption: {}",
+        durations.iter().max().copied().unwrap_or(Nanos::ZERO)
+    );
     println!("every one of these is a tail-latency outlier for the server");
 }

@@ -15,7 +15,11 @@ fn main() {
     let (params, node) = fig1_config(2000);
     let exp = run_ftq(params, node);
     let (ftq_total, traced_total) = exp.comparison.totals();
-    println!("simulated FTQ, {} quanta of {}:", exp.series.ops.len(), exp.series.quantum);
+    println!(
+        "simulated FTQ, {} quanta of {}:",
+        exp.series.ops.len(),
+        exp.series.quantum
+    );
     println!("  FTQ estimate {ftq_total} vs traced {traced_total}");
     println!("  correlation {:.4}", exp.comparison.correlation());
     println!(
@@ -29,7 +33,11 @@ fn main() {
     let noise = series.noise_estimate();
     let total: Nanos = noise.iter().copied().sum();
     let spikes = series.spikes(Nanos::from_micros(50)).len();
-    println!("  op cost {} | N_max {} ops/quantum", series.op_cost, series.n_max());
+    println!(
+        "  op cost {} | N_max {} ops/quantum",
+        series.op_cost,
+        series.n_max()
+    );
     println!("  estimated host OS noise: {total} total, {spikes} spikes > 50us");
     println!("  (your host kernel's ticks, IRQs and daemons are in there)");
 }

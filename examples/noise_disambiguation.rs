@@ -33,10 +33,16 @@ fn main() {
         quanta_per_page: 9,
         ..FtqParams::default()
     };
-    let exp = run_ftq(params, NodeConfig::default().with_horizon(Nanos::from_secs(3)));
+    let exp = run_ftq(
+        params,
+        NodeConfig::default().with_horizon(Nanos::from_secs(3)),
+    );
     let folded = fig9_quantum_composites(&exp);
     println!("\n== §V-B: composite FTQ spikes ==");
-    println!("{} quanta fold 2+ unrelated events into one spike, e.g.:", folded.len());
+    println!(
+        "{} quanta fold 2+ unrelated events into one spike, e.g.:",
+        folded.len()
+    );
     for (q, events) in folded.iter().take(3) {
         print!("  quantum {q}:");
         for (class, d) in events {

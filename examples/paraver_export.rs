@@ -24,12 +24,9 @@ fn main() -> std::io::Result<()> {
         run.result.end_time,
     );
     // Validate before writing, as the CLI does.
-    let records = paraver::validate_prv(
-        &prv,
-        run.result.tasks.len(),
-        run.config.node.cpus as usize,
-    )
-    .expect("generated .prv must validate");
+    let records =
+        paraver::validate_prv(&prv, run.result.tasks.len(), run.config.node.cpus as usize)
+            .expect("generated .prv must validate");
 
     std::fs::write(dir.join("lammps.prv"), &prv)?;
     std::fs::write(dir.join("lammps.pcf"), paraver::pcf::write_pcf())?;
@@ -38,8 +35,15 @@ fn main() -> std::io::Result<()> {
         paraver::row::write_row(run.config.node.cpus as usize, &run.result.tasks),
     )?;
     let chart = NoiseChart::build(&run.analysis, run.observed_rank());
-    std::fs::write(dir.join("lammps_chart.csv"), paraver::matlab::chart_csv(&chart))?;
+    std::fs::write(
+        dir.join("lammps_chart.csv"),
+        paraver::matlab::chart_csv(&chart),
+    )?;
 
-    println!("wrote {} Paraver records + chart CSV to {}", records, dir.display());
+    println!(
+        "wrote {} Paraver records + chart CSV to {}",
+        records,
+        dir.display()
+    );
     Ok(())
 }

@@ -11,9 +11,16 @@ use osnoise::core::campaign::{campaign_report, CampaignConfig};
 use osnoise::kernel::time::Nanos;
 
 fn main() {
-    let secs: u64 = std::env::var("SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let secs: u64 = std::env::var("SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     let config = CampaignConfig::paper(Nanos::from_secs(secs));
-    println!("running {} apps for {}s of simulated time each...", config.apps.len(), secs);
+    println!(
+        "running {} apps for {}s of simulated time each...",
+        config.apps.len(),
+        secs
+    );
     let (runs, report) = campaign_report(&config);
 
     for run in &runs {
@@ -25,8 +32,20 @@ fn main() {
         );
     }
 
-    println!("\n== Fig 3: OS noise breakdown ==\n{}", report.render_breakdown());
-    println!("== Table I: page faults ==\n{}", report.render_table(EventClass::PageFault));
-    println!("== Table V: timer interrupts ==\n{}", report.render_table(EventClass::TimerInterrupt));
-    println!("== Table VI: run_timer_softirq ==\n{}", report.render_table(EventClass::RunTimerSoftirq));
+    println!(
+        "\n== Fig 3: OS noise breakdown ==\n{}",
+        report.render_breakdown()
+    );
+    println!(
+        "== Table I: page faults ==\n{}",
+        report.render_table(EventClass::PageFault)
+    );
+    println!(
+        "== Table V: timer interrupts ==\n{}",
+        report.render_table(EventClass::TimerInterrupt)
+    );
+    println!(
+        "== Table VI: run_timer_softirq ==\n{}",
+        report.render_table(EventClass::RunTimerSoftirq)
+    );
 }

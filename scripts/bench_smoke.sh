@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Smoke check for the simulator's performance trajectory: build, run
-# the test suite, then a short engine-throughput run that regenerates
+# the test suite, then short benchmark runs that regenerate
 # BENCH_PR1.json (per-app events/sec heap vs wheel, plus the
-# queue-depth sweep). Intended for CI and for a quick local sanity run
-# after touching the engine hot path.
+# queue-depth sweep) and BENCH_PR3.json (sharded/fused analysis engine
+# vs the sequential reference, campaign + rank sweep — every timed rep
+# also differentially checks the reports are bit-identical). Intended
+# for CI and for a quick local sanity run after touching the engine or
+# analysis hot paths.
 #
-# Knobs are forwarded to engine_throughput: OSN_SECS (default 5 here —
+# Knobs are forwarded to both binaries: OSN_SECS (default 5 here —
 # short but long enough that per-run timing is meaningful), OSN_REPS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,4 +19,7 @@ cargo test -q
 OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
     cargo run --release -p osn-bench --bin engine_throughput
 
-echo "bench_smoke: OK (see BENCH_PR1.json)"
+OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
+    cargo run --release -p osn-bench --bin analysis_throughput
+
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json)"

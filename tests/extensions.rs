@@ -74,7 +74,9 @@ fn phase_program_job_end_to_end() {
     );
     let job = node.spawn_job(
         "custom",
-        (0..4).map(|_| Box::new(program.instantiate()) as Box<dyn Workload>).collect(),
+        (0..4)
+            .map(|_| Box::new(program.instantiate()) as Box<dyn Workload>)
+            .collect(),
     );
     let (session, mut tracer) = TraceSession::with_defaults(4);
     let result = node.run(&mut tracer);
@@ -92,8 +94,7 @@ fn phase_program_job_end_to_end() {
 #[test]
 fn idle_core_mitigation_reduces_noise() {
     let run_with = |nranks: usize, daemon_cpu: Option<CpuId>| {
-        let mut config =
-            ExperimentConfig::paper(App::Lammps, Nanos::from_secs(3)).with_seed(31);
+        let mut config = ExperimentConfig::paper(App::Lammps, Nanos::from_secs(3)).with_seed(31);
         config.nranks = nranks;
         config.node.daemon_cpu = daemon_cpu;
         if let Some(cpu) = daemon_cpu {
@@ -128,10 +129,7 @@ fn prioritized_ranks_resist_displacement() {
         let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
         let ranks = result.job_ranks(job);
         let b = Breakdown::compute(&analysis, &ranks);
-        b.total_noise
-            .as_nanos()
-            .min(u64::MAX) as f64
-            * b.fraction(NoiseCategory::Preemption)
+        b.total_noise.as_nanos() as f64 * b.fraction(NoiseCategory::Preemption)
     };
     // A single seed's margin is within timing-butterfly noise; compare
     // the average preemption noise across a few seeds instead.

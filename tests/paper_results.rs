@@ -52,14 +52,23 @@ fn report() -> &'static PaperReport {
 #[test]
 fn traces_are_clean_and_lossless() {
     for run in campaign() {
-        assert_eq!(run.trace.total_lost(), 0, "{}: ring overflow", run.app.name());
+        assert_eq!(
+            run.trace.total_lost(),
+            0,
+            "{}: ring overflow",
+            run.app.name()
+        );
         assert!(
             run.analysis.nesting_report.is_clean(),
             "{}: {:?}",
             run.app.name(),
             run.analysis.nesting_report
         );
-        assert!(run.trace.len() > 10_000, "{}: suspiciously small trace", run.app.name());
+        assert!(
+            run.trace.len() > 10_000,
+            "{}: suspiciously small trace",
+            run.app.name()
+        );
     }
 }
 
@@ -126,7 +135,10 @@ fn fig3_amg_and_umt_are_fault_dominated() {
 fn fig3_lammps_is_preemption_dominated() {
     let b = breakdown_of(App::Lammps);
     let preempt = b.fraction(NoiseCategory::Preemption);
-    assert!(preempt > 0.6, "preemption share {preempt:.2} (paper: 80.2%)");
+    assert!(
+        preempt > 0.6,
+        "preemption share {preempt:.2} (paper: 80.2%)"
+    );
     assert_eq!(b.dominant(), Some(NoiseCategory::Preemption));
     // And page faults are a small share (paper: 10.2%).
     assert!(b.fraction(NoiseCategory::PageFault) < 0.25);
@@ -171,15 +183,29 @@ fn fig3_fractions_sum_to_one() {
 
 #[test]
 fn table1_fault_rate_ordering() {
-    let freq = |app: App| report().app(app).unwrap().stats(EventClass::PageFault).freq_per_sec;
+    let freq = |app: App| {
+        report()
+            .app(app)
+            .unwrap()
+            .stats(EventClass::PageFault)
+            .freq_per_sec
+    };
     // Paper: UMT 3554 > AMG 1693 > IRS 1488 >> LAMMPS 231 > SPHOT 25.
     assert!(freq(App::Umt) > freq(App::Amg));
     assert!(freq(App::Amg) > freq(App::Irs));
     assert!(freq(App::Irs) > 3.0 * freq(App::Lammps));
     assert!(freq(App::Lammps) > freq(App::Sphot));
     // Magnitudes within ~2x of the paper.
-    assert!((800.0..=4000.0).contains(&freq(App::Amg)), "AMG {}", freq(App::Amg));
-    assert!((100.0..=520.0).contains(&freq(App::Lammps)), "LAMMPS {}", freq(App::Lammps));
+    assert!(
+        (800.0..=4000.0).contains(&freq(App::Amg)),
+        "AMG {}",
+        freq(App::Amg)
+    );
+    assert!(
+        (100.0..=520.0).contains(&freq(App::Lammps)),
+        "LAMMPS {}",
+        freq(App::Lammps)
+    );
 }
 
 #[test]
@@ -203,8 +229,17 @@ fn table1_duration_spread_varies_by_app() {
     let r = report();
     let amg = r.app(App::Amg).unwrap().stats(EventClass::PageFault);
     let lammps = r.app(App::Lammps).unwrap().stats(EventClass::PageFault);
-    assert!(amg.max > lammps.max * 10, "AMG tail {} vs LAMMPS {}", amg.max, lammps.max);
-    assert!(lammps.max < Nanos::from_micros(40), "LAMMPS max {}", lammps.max);
+    assert!(
+        amg.max > lammps.max * 10,
+        "AMG tail {} vs LAMMPS {}",
+        amg.max,
+        lammps.max
+    );
+    assert!(
+        lammps.max < Nanos::from_micros(40),
+        "LAMMPS max {}",
+        lammps.max
+    );
 }
 
 // ---------- Tables II–IV: the network path ----------
@@ -227,7 +262,11 @@ fn table4_tx_is_faster_and_tighter_than_rx() {
             avg(&rx)
         );
         let spread = |v: &[Nanos]| percentile(v, 99.0) - percentile(v, 1.0);
-        assert!(spread(&tx) < spread(&rx), "{}: tx spread not tighter", run.app.name());
+        assert!(
+            spread(&tx) < spread(&rx),
+            "{}: tx spread not tighter",
+            run.app.name()
+        );
     }
 }
 
@@ -256,7 +295,11 @@ fn table2_lammps_has_fewest_network_interrupts() {
 #[test]
 fn table5_tick_rate_is_100hz_for_every_app() {
     for app in App::ALL {
-        let f = report().app(app).unwrap().stats(EventClass::TimerInterrupt).freq_per_sec;
+        let f = report()
+            .app(app)
+            .unwrap()
+            .stats(EventClass::TimerInterrupt)
+            .freq_per_sec;
         // Ticks are only charged while the observed process is
         // runnable; barrier-heavy apps observe slightly below the raw
         // 100 Hz.
@@ -271,7 +314,13 @@ fn table5_tick_rate_is_100hz_for_every_app() {
 #[test]
 fn table5_tick_cost_ordering_matches_cache_pressure() {
     // Paper Table V: UMT ≈ IRS > LAMMPS ≈ AMG > SPHOT.
-    let avg = |app: App| report().app(app).unwrap().stats(EventClass::TimerInterrupt).avg;
+    let avg = |app: App| {
+        report()
+            .app(app)
+            .unwrap()
+            .stats(EventClass::TimerInterrupt)
+            .avg
+    };
     assert!(avg(App::Umt) > avg(App::Amg));
     assert!(avg(App::Irs) > avg(App::Lammps));
     assert!(avg(App::Amg) > avg(App::Sphot));
@@ -292,10 +341,20 @@ fn table6_softirq_cheaper_than_tick_but_longer_tailed() {
         let r = report().app(app).unwrap();
         let tick = r.stats(EventClass::TimerInterrupt);
         let softirq = r.stats(EventClass::RunTimerSoftirq);
-        assert!(softirq.avg < tick.avg, "{}: softirq avg not below tick", app.name());
-        assert!(softirq.min < tick.min, "{}: softirq min not below tick", app.name());
+        assert!(
+            softirq.avg < tick.avg,
+            "{}: softirq avg not below tick",
+            app.name()
+        );
+        assert!(
+            softirq.min < tick.min,
+            "{}: softirq min not below tick",
+            app.name()
+        );
         // Long tail: max/avg much larger than the tick's.
-        let tail = |s: osnoise::analysis::EventStats| s.max.as_nanos() as f64 / s.avg.as_nanos().max(1) as f64;
+        let tail = |s: osnoise::analysis::EventStats| {
+            s.max.as_nanos() as f64 / s.avg.as_nanos().max(1) as f64
+        };
         assert!(
             tail(softirq) > tail(tick),
             "{}: softirq tail not longer",
@@ -316,7 +375,12 @@ fn fig4_amg_bimodal_lammps_one_sided() {
     let lammps = run_of(App::Lammps);
     let samples = class_samples(&lammps.analysis, &lammps.ranks, EventClass::PageFault);
     let h = Histogram::build(&samples, 40, 99.0);
-    assert_eq!(h.modes(0.25).len(), 1, "LAMMPS not one-sided: {:?}", h.counts);
+    assert_eq!(
+        h.modes(0.25).len(),
+        1,
+        "LAMMPS not one-sided: {:?}",
+        h.counts
+    );
 }
 
 #[test]
@@ -324,8 +388,11 @@ fn fig5_fault_placement() {
     // LAMMPS: faults at the edges; AMG: spread through the run.
     let edges_fraction = |app: App| {
         let run = run_of(app);
-        let samples =
-            osnoise::analysis::stats::class_samples_timed(&run.analysis, &run.ranks, EventClass::PageFault);
+        let samples = osnoise::analysis::stats::class_samples_timed(
+            &run.analysis,
+            &run.ranks,
+            EventClass::PageFault,
+        );
         let end = run.result.end_time;
         let edge = end / 5; // first and last 20%
         let edgy = samples
@@ -356,7 +423,12 @@ fn fig6_umt_rebalance_wider_than_irs() {
     let irs = stats(App::Irs);
     assert!(umt.len() > 50 && irs.len() > 50);
     let avg = |v: &[Nanos]| v.iter().map(|n| n.as_nanos()).sum::<u64>() / v.len() as u64;
-    assert!(avg(&umt) > avg(&irs), "UMT {} vs IRS {}", avg(&umt), avg(&irs));
+    assert!(
+        avg(&umt) > avg(&irs),
+        "UMT {} vs IRS {}",
+        avg(&umt),
+        avg(&irs)
+    );
     // The whole distribution shifts right: UMT's helpers add scanned
     // load contributions on every pass (the paper's "much tougher job
     // to balance UMT"); the shift holds at the median and high

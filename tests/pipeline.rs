@@ -48,12 +48,9 @@ fn paraver_export_validates_on_a_real_trace() {
         &run.result.tasks,
         run.result.end_time,
     );
-    let records = paraver::validate_prv(
-        &prv,
-        run.result.tasks.len(),
-        run.config.node.cpus as usize,
-    )
-    .expect("generated .prv validates");
+    let records =
+        paraver::validate_prv(&prv, run.result.tasks.len(), run.config.node.cpus as usize)
+            .expect("generated .prv validates");
     assert!(records > 1_000);
     // Companion files generate without panicking and mention tasks.
     let pcf = paraver::pcf::write_pcf();
@@ -78,7 +75,10 @@ fn lossy_trace_degrades_gracefully() {
     let (session, mut tracer) = TraceSession::new(2, 64, EventMask::ALL);
     let result = node.run(&mut tracer);
     let trace = session.stop();
-    assert!(trace.total_lost() > 0, "expected losses with a 64-slot ring");
+    assert!(
+        trace.total_lost() > 0,
+        "expected losses with a 64-slot ring"
+    );
 
     let analysis = NoiseAnalysis::analyze(&trace, &result.tasks, result.end_time);
     // The nesting report surfaces the corruption instead of hiding it.

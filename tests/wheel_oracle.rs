@@ -88,8 +88,7 @@ proptest! {
 #[test]
 fn heap_and_wheel_runs_are_bit_identical() {
     let run_with = |queue: QueueKind| {
-        let mut config =
-            ExperimentConfig::paper(App::Amg, Nanos::from_secs(1)).with_seed(0xC0FFEE);
+        let mut config = ExperimentConfig::paper(App::Amg, Nanos::from_secs(1)).with_seed(0xC0FFEE);
         config.node.queue = queue;
         run_app(config)
     };

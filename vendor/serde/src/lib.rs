@@ -419,10 +419,7 @@ mod tests {
         let none: Option<u64> = None;
         assert!(none.to_value().is_null());
         assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
-        assert_eq!(
-            Option::<u64>::from_value(&Value::U64(4)).unwrap(),
-            Some(4)
-        );
+        assert_eq!(Option::<u64>::from_value(&Value::U64(4)).unwrap(), Some(4));
     }
 
     #[test]

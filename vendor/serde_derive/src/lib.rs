@@ -17,10 +17,21 @@ use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug)]
@@ -82,7 +93,10 @@ fn parse_named_fields(g: &Group) -> Vec<String> {
         let name = ident_of(&toks[i]).expect("serde derive: expected field name");
         fields.push(name);
         i += 1;
-        assert!(is_punct(&toks[i], ':'), "serde derive: expected ':' after field");
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde derive: expected ':' after field"
+        );
         i += 1;
         let mut depth = 0i32;
         while i < toks.len() {
@@ -298,7 +312,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    body.parse().expect("serde derive: generated Serialize impl must parse")
+    body.parse()
+        .expect("serde derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
@@ -430,5 +445,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    body.parse().expect("serde derive: generated Deserialize impl must parse")
+    body.parse()
+        .expect("serde derive: generated Deserialize impl must parse")
 }
