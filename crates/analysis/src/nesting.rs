@@ -98,8 +98,8 @@ struct OpenSlot {
 /// there — e.g. a zero-width frame opening before a longer sibling at
 /// the same timestamp — so [`fix_equal_start_runs`] re-sorts those runs
 /// using the recorded close sequence. No full per-shard sort is needed.
-fn reconstruct_stream<'a>(
-    events: impl Iterator<Item = &'a Event>,
+fn reconstruct_stream(
+    events: impl Iterator<Item = Event>,
     out: &mut Vec<ActivityInstance>,
     report: &mut NestingReport,
 ) {
@@ -111,7 +111,7 @@ fn reconstruct_stream<'a>(
     let mut next_seq = 0u32;
     let mut dropped = 0usize;
     for event in events {
-        let Event { t, cpu, tid, kind } = *event;
+        let Event { t, cpu, tid, kind } = event;
         match kind {
             EventKind::KernelEnter(activity) => {
                 // Suspend the currently running frame, if any.
@@ -231,10 +231,56 @@ pub fn reconstruct_sharded(
     let shards = crate::par::parallel_map(ncpus, workers, |cpu| {
         let mut out = Vec::new();
         let mut report = NestingReport::default();
-        reconstruct_stream(trace.cpu_events(CpuId(cpu as u16)), &mut out, &mut report);
+        reconstruct_stream(
+            trace.cpu_events(CpuId(cpu as u16)).copied(),
+            &mut out,
+            &mut report,
+        );
         (out, report)
     });
+    merge_shards(shards)
+}
 
+/// Out-of-core variant of [`reconstruct_sharded`]: run the pairing
+/// state machine over externally supplied per-CPU event streams (one
+/// per CPU, in CPU order — e.g. `osn-store` chunk cursors), without a
+/// materialized [`Trace`]. Memory is bounded by whatever the streams
+/// buffer plus the instances themselves; the result is bit-identical
+/// to the in-memory path on the same events.
+pub fn reconstruct_streams<I>(
+    streams: Vec<I>,
+    workers: usize,
+) -> (Vec<ActivityInstance>, NestingReport)
+where
+    I: Iterator<Item = Event> + Send,
+{
+    let n = streams.len();
+    // parallel_map hands out indexes, not items: park each stream in a
+    // Mutex slot its worker takes exactly once.
+    let slots: Vec<std::sync::Mutex<Option<I>>> = streams
+        .into_iter()
+        .map(|s| std::sync::Mutex::new(Some(s)))
+        .collect();
+    let shards = crate::par::parallel_map(n, workers, |i| {
+        let stream = slots[i]
+            .lock()
+            .expect("stream slot poisoned")
+            .take()
+            .expect("stream taken twice");
+        let mut out = Vec::new();
+        let mut report = NestingReport::default();
+        reconstruct_stream(stream, &mut out, &mut report);
+        (out, report)
+    });
+    merge_shards(shards)
+}
+
+/// K-way merge of per-CPU shards by (start, cpu), summing the reports.
+/// Keys never tie across shards (the cpu differs), so heap order plus
+/// per-shard FIFO reproduces the reference stable sort exactly.
+fn merge_shards(
+    shards: Vec<(Vec<ActivityInstance>, NestingReport)>,
+) -> (Vec<ActivityInstance>, NestingReport) {
     let mut report = NestingReport::default();
     for (_, r) in &shards {
         report.orphan_exits += r.orphan_exits;
@@ -242,9 +288,6 @@ pub fn reconstruct_sharded(
         report.mismatched_exits += r.mismatched_exits;
     }
 
-    // K-way merge of the per-CPU shards by (start, cpu). Keys never tie
-    // across shards (the cpu differs), so heap order plus per-shard
-    // FIFO reproduces the reference stable sort exactly.
     let total: usize = shards.iter().map(|(v, _)| v.len()).sum();
     let mut out = Vec::with_capacity(total);
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(Nanos, u16, usize)>> =

@@ -302,41 +302,31 @@ impl NoiseAnalysis {
     ) -> NoiseAnalysis {
         let (instances, nesting_report) = reconstruct_sharded(trace, workers);
         let timelines = build_timelines_partitioned(trace, tasks, end, workers);
+        assemble(instances, nesting_report, timelines, tasks, end, workers)
+    }
 
-        let apps: Vec<Tid> = tasks
-            .iter()
-            .filter(|m| m.kind == "app")
-            .map(|m| m.tid)
-            .collect();
-        let index = InstanceIndex::build(&instances, &apps);
-        let running = running_segments(&timelines, index.ncpus());
-        let per_cpu_async = per_cpu_async_positions(&instances, index.ncpus());
-
-        let targets: Vec<Tid> = apps
-            .into_iter()
-            .filter(|t| timelines.get(*t).is_some())
-            .collect();
-        let noises = crate::par::parallel_map(targets.len(), workers, |i| {
-            let tid = targets[i];
-            let tl = timelines.get(tid).expect("filtered above");
-            analyze_task(
-                tid,
-                tl,
-                &instances,
-                index.ctx_positions(tid),
-                &per_cpu_async,
-                &running,
-            )
-        });
-        let result: HashMap<Tid, TaskNoise> = targets.into_iter().zip(noises).collect();
-
-        NoiseAnalysis {
-            instances,
-            nesting_report,
-            timelines,
-            tasks: result,
-            end,
-        }
+    /// Out-of-core variant: analyze per-CPU event streams (e.g.
+    /// [`osn_store` chunk iterators]) without ever materializing the
+    /// trace. `sched_events` is the time-merged scheduler-event subset
+    /// (switch/wakeup/migrate/exit) that timelines replay — a small
+    /// slice compared to the full trace. Scheduler events are a
+    /// per-CPU-order-preserving filter of the streams, so building
+    /// timelines from them commutes with the k-way merge: output is
+    /// bit-identical to [`NoiseAnalysis::analyze_with_workers`] on the
+    /// materialized trace.
+    pub fn analyze_streamed<I>(
+        streams: Vec<I>,
+        sched_events: &[osn_trace::Event],
+        tasks: &[TaskMeta],
+        end: Nanos,
+        workers: usize,
+    ) -> NoiseAnalysis
+    where
+        I: Iterator<Item = osn_trace::Event> + Send,
+    {
+        let (instances, nesting_report) = crate::nesting::reconstruct_streams(streams, workers);
+        let timelines = crate::timeline::build_timelines_events(sched_events, tasks, end, workers);
+        assemble(instances, nesting_report, timelines, tasks, end, workers)
     }
 
     /// The retained sequential reference engine (the pre-sharding seed
@@ -394,6 +384,54 @@ impl NoiseAnalysis {
         // unique per interruption, so the order is deterministic.
         out.sort_unstable_by_key(|i| (i.start, i.end, i.task.0));
         out
+    }
+}
+
+/// Shared back half of the sharded engine: index the reconstructed
+/// instances, analyze every application task in parallel, and bundle
+/// the results. Both the in-memory and the streamed front halves feed
+/// this, which is what makes them bit-identical.
+fn assemble(
+    instances: Vec<ActivityInstance>,
+    nesting_report: NestingReport,
+    timelines: Timelines,
+    tasks: &[TaskMeta],
+    end: Nanos,
+    workers: usize,
+) -> NoiseAnalysis {
+    let apps: Vec<Tid> = tasks
+        .iter()
+        .filter(|m| m.kind == "app")
+        .map(|m| m.tid)
+        .collect();
+    let index = InstanceIndex::build(&instances, &apps);
+    let running = running_segments(&timelines, index.ncpus());
+    let per_cpu_async = per_cpu_async_positions(&instances, index.ncpus());
+
+    let targets: Vec<Tid> = apps
+        .into_iter()
+        .filter(|t| timelines.get(*t).is_some())
+        .collect();
+    let noises = crate::par::parallel_map(targets.len(), workers, |i| {
+        let tid = targets[i];
+        let tl = timelines.get(tid).expect("filtered above");
+        analyze_task(
+            tid,
+            tl,
+            &instances,
+            index.ctx_positions(tid),
+            &per_cpu_async,
+            &running,
+        )
+    });
+    let result: HashMap<Tid, TaskNoise> = targets.into_iter().zip(noises).collect();
+
+    NoiseAnalysis {
+        instances,
+        nesting_report,
+        timelines,
+        tasks: result,
+        end,
     }
 }
 

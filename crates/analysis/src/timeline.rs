@@ -207,11 +207,25 @@ pub fn build_timelines_partitioned(
     end: Nanos,
     workers: usize,
 ) -> Timelines {
+    build_timelines_events(&trace.events, tasks, end, workers)
+}
+
+/// [`build_timelines_partitioned`] over a bare event slice in global
+/// `(t, cpu)` order. Timelines depend only on scheduler events, so the
+/// out-of-core path passes a pre-filtered `SchedSwitch`/`Wakeup` slice
+/// — filtering commutes with the per-CPU merge, making the result
+/// bit-identical to a full-trace build.
+pub fn build_timelines_events(
+    events: &[osn_trace::Event],
+    tasks: &[TaskMeta],
+    end: Nanos,
+    workers: usize,
+) -> Timelines {
     // One pass: the positions of each task's scheduler events. A
     // self-switch (prev == next) is recorded once and replayed in both
     // roles.
     let mut positions: HashMap<Tid, Vec<u32>> = tasks.iter().map(|m| (m.tid, Vec::new())).collect();
-    for (pos, event) in trace.events.iter().enumerate() {
+    for (pos, event) in events.iter().enumerate() {
         match event.kind {
             EventKind::SchedSwitch { prev, next, .. } => {
                 if !prev.is_idle() {
@@ -239,7 +253,7 @@ pub fn build_timelines_partitioned(
         let tid = meta.tid;
         let mut b = Builder::new(meta);
         for &pos in &positions[&tid] {
-            let event = &trace.events[pos as usize];
+            let event = &events[pos as usize];
             match event.kind {
                 EventKind::SchedSwitch {
                     prev,

@@ -1,0 +1,200 @@
+//! On-disk store throughput: chunked write speed, codec effectiveness,
+//! and out-of-core streamed analysis vs the in-memory engine.
+//!
+//! For every Sequoia app (written to `BENCH_PR4.json` at the repo
+//! root):
+//!
+//! * **Write** — `persist_run` MB/s and events/s, delta/varint codec
+//!   vs raw records, plus the resulting compression ratio against the
+//!   in-memory event footprint.
+//! * **Analyze** — full out-of-core pipeline (open + chunk streams +
+//!   `analyze_store` + report) vs the in-memory engine on the same
+//!   run, asserting byte-identical serialized reports on every timed
+//!   rep — each rep doubles as a differential check.
+//! * **Memory** — the reader's chunk-residency proxy (peak resident
+//!   chunks × chunk capacity × record size) against the materialized
+//!   trace footprint.
+//!
+//! Knobs: `OSN_SECS` (default 10), `OSN_REPS` (default 3), `OSN_SEED`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use osn_bench::{duration, load_or_run, seed};
+use osn_core::report::AppReport;
+use osn_core::store::{self, Options};
+use osn_workloads::App;
+
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppRow {
+    app: String,
+    sim_secs: u64,
+    events: usize,
+    /// Compressed store size / raw-records store size / in-memory.
+    file_bytes: u64,
+    raw_file_bytes: u64,
+    memory_bytes: u64,
+    compression_ratio: f64,
+    chunks: usize,
+    /// Best-of-reps write and analyze timings.
+    write_s: f64,
+    write_mb_per_sec: f64,
+    write_events_per_sec: f64,
+    in_memory_analyze_s: f64,
+    streamed_analyze_s: f64,
+    streamed_over_in_memory: f64,
+    /// Reader residency proxy: peak chunks × capacity × record bytes.
+    peak_resident_chunks: usize,
+    streamed_peak_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    reps: usize,
+    chunk_capacity: usize,
+    apps: Vec<AppRow>,
+    aggregate_write_mb_per_sec: f64,
+    aggregate_streamed_over_in_memory: f64,
+    aggregate_compression_ratio: f64,
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn scratch(app: App, tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "osn-bench-store-{}-{tag}-{}.osn",
+        app.name(),
+        std::process::id()
+    ))
+}
+
+fn main() {
+    let sim = duration();
+    let sim_secs = sim.as_nanos() / 1_000_000_000;
+    let reps: usize = std::env::var("OSN_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let seed = seed();
+    let opts = Options::default();
+
+    let mut apps = Vec::new();
+    let (mut tot_bytes, mut tot_write, mut tot_mem, mut tot_stream) = (0u64, 0.0f64, 0.0, 0.0);
+    let mut tot_raw = 0u64;
+    for &app in App::ALL.iter() {
+        let run = load_or_run(app);
+        let path = scratch(app, "delta");
+        let raw_path = scratch(app, "raw");
+
+        // ---- Write throughput, both codecs. ----
+        let mut summary = store::persist_run(&run, &path, opts).expect("persist");
+        let write_s = best_of(reps, || {
+            let t = Instant::now();
+            summary = store::persist_run(&run, &path, opts).expect("persist");
+            t.elapsed().as_secs_f64()
+        });
+        let raw_summary =
+            store::persist_run(&run, &raw_path, opts.with_compress(false)).expect("persist raw");
+        let memory_bytes = (run.trace.len() * std::mem::size_of::<osn_trace::Event>()) as u64;
+
+        // ---- Streamed vs in-memory analysis, differentially checked. ----
+        let in_memory_report = AppReport::build(&run);
+        let in_memory_json = serde_json::to_vec(&in_memory_report).expect("serializable");
+        let mut peak_resident = 0usize;
+        let streamed_analyze_s = best_of(reps, || {
+            let t = Instant::now();
+            let reader = store::Reader::open(&path).expect("open");
+            let meta = osn_core::StoredRunMeta::from_bytes(reader.metadata()).expect("meta");
+            let analysis = store::analyze_store(&reader, &meta.result).expect("analyze");
+            let report = AppReport::from_analysis(
+                meta.config.app,
+                &meta.ranks,
+                meta.config.node.net_irq_cpu,
+                &analysis,
+            );
+            let s = t.elapsed().as_secs_f64();
+            peak_resident = reader.stats().peak_resident;
+            assert_eq!(
+                serde_json::to_vec(&report).expect("serializable"),
+                in_memory_json,
+                "{}: streamed report differs from in-memory",
+                app.name()
+            );
+            s
+        });
+        let in_memory_analyze_s = best_of(reps, || {
+            let t = Instant::now();
+            let analysis = osn_core::analysis::NoiseAnalysis::analyze(
+                &run.trace,
+                &run.result.tasks,
+                run.result.end_time,
+            );
+            let _ = AppReport::build_with(&run, &analysis);
+            t.elapsed().as_secs_f64()
+        });
+
+        let row = AppRow {
+            app: app.name().to_string(),
+            sim_secs,
+            events: run.trace.len(),
+            file_bytes: summary.bytes,
+            raw_file_bytes: raw_summary.bytes,
+            memory_bytes,
+            compression_ratio: memory_bytes as f64 / summary.bytes as f64,
+            chunks: summary.chunks,
+            write_s,
+            write_mb_per_sec: summary.bytes as f64 / write_s / 1e6,
+            write_events_per_sec: summary.events as f64 / write_s,
+            in_memory_analyze_s,
+            streamed_analyze_s,
+            streamed_over_in_memory: streamed_analyze_s / in_memory_analyze_s,
+            peak_resident_chunks: peak_resident,
+            streamed_peak_bytes: (peak_resident
+                * opts.chunk_capacity
+                * std::mem::size_of::<osn_trace::Event>()) as u64,
+        };
+        println!(
+            "{:>10}: {:>9} events  write {:>7.1} MB/s  {:>5.2}x smaller  streamed/in-mem {:>5.2}x  peak {:>3} chunks",
+            row.app,
+            row.events,
+            row.write_mb_per_sec,
+            row.compression_ratio,
+            row.streamed_over_in_memory,
+            row.peak_resident_chunks
+        );
+        tot_bytes += summary.bytes;
+        tot_raw += raw_summary.bytes;
+        tot_write += write_s;
+        tot_mem += in_memory_analyze_s;
+        tot_stream += streamed_analyze_s;
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&raw_path);
+        apps.push(row);
+    }
+
+    let report = Report {
+        seed,
+        reps,
+        chunk_capacity: opts.chunk_capacity,
+        aggregate_write_mb_per_sec: tot_bytes as f64 / tot_write / 1e6,
+        aggregate_streamed_over_in_memory: tot_stream / tot_mem,
+        aggregate_compression_ratio: tot_raw as f64 / tot_bytes as f64,
+        apps,
+    };
+    println!(
+        "aggregate: write {:.1} MB/s, streamed analysis {:.2}x the in-memory time, raw/delta file ratio {:.2}x",
+        report.aggregate_write_mb_per_sec,
+        report.aggregate_streamed_over_in_memory,
+        report.aggregate_compression_ratio
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    std::fs::write(path, serde_json::to_vec(&report).expect("serializable"))
+        .expect("write BENCH_PR4.json");
+    println!("wrote {path}");
+}

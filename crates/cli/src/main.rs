@@ -7,6 +7,9 @@
 //! osnoise export <app> --out DIR [--secs N]              Paraver .prv/.pcf/.row + CSV exports
 //! osnoise disambiguate <app> [--tolerance NS]            §V-A confusable pairs (Fig 10)
 //! osnoise overhead [--secs N]                            §III-A instrumentation overhead
+//! osnoise record <app> <out.osn> [--secs N]              trace to a chunked store file (streaming)
+//! osnoise analyze <in.osn>                               out-of-core report from a store file
+//! osnoise info <in.osn>                                  store file layout and contents
 //! ```
 
 use std::collections::HashMap;
@@ -78,6 +81,9 @@ fn main() -> ExitCode {
         Some("overhead") => cmd_overhead(&args),
         Some("scale") => cmd_scale(&args),
         Some("signature") => cmd_signature(&args),
+        Some("record") => cmd_record(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some("info") => cmd_info(&args),
         _ => {
             eprintln!("{}", HELP);
             ExitCode::FAILURE
@@ -88,8 +94,11 @@ fn main() -> ExitCode {
 const HELP: &str = "osnoise — quantitative per-event OS-noise analysis (IPDPS'11 reproduction)
 
 USAGE:
-  osnoise campaign [--secs N] [--seed S] [--json FILE]
+  osnoise campaign [--secs N] [--seed S] [--json FILE] [--store DIR]
   osnoise app <amg|irs|lammps|sphot|umt> [--secs N] [--seed S]
+  osnoise record <app> <out.osn> [--secs N] [--seed S] [--chunk EVENTS] [--codec raw|delta]
+  osnoise analyze <in.osn>
+  osnoise info <in.osn>
   osnoise ftq [--samples N] [--seed S]
   osnoise export <app> --out DIR [--secs N]
   osnoise disambiguate <app> [--tolerance NS] [--secs N]
@@ -100,7 +109,7 @@ USAGE:
 fn cmd_campaign(args: &Args) -> ExitCode {
     let mut config = CampaignConfig::paper(args.secs());
     config.seed = args.seed();
-    let (_runs, report) = campaign_report(&config);
+    let (runs, report) = campaign_report(&config);
     println!(
         "== Fig 3: OS noise breakdown ==\n{}",
         report.render_breakdown()
@@ -126,6 +135,20 @@ fn cmd_campaign(args: &Args) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = args.flags.get("store") {
+        let dir = std::path::Path::new(dir);
+        match osn_core::persist_campaign(&runs, dir, osn_core::store::Options::default()) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot persist campaign to {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         }
@@ -372,6 +395,160 @@ fn cmd_scale(args: &Args) -> ExitCode {
             p.slowdown,
             p.efficiency * 100.0,
             p.expected_max_noise
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn store_options(args: &Args) -> osn_core::store::Options {
+    let mut opts = osn_core::store::Options::default();
+    if let Some(chunk) = args.flags.get("chunk").and_then(|s| s.parse().ok()) {
+        opts = opts.with_chunk_capacity(chunk);
+    }
+    if args.flags.get("codec").is_some_and(|c| c == "raw") {
+        opts = opts.with_compress(false);
+    }
+    opts
+}
+
+fn cmd_record(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = args.positional.get(2) else {
+        eprintln!(
+            "record needs an output path: osnoise record {} <out.osn>",
+            app.name()
+        );
+        return ExitCode::FAILURE;
+    };
+    let config = ExperimentConfig::paper(app, args.secs()).with_seed(args.seed());
+    let path = std::path::Path::new(out);
+    match osn_core::record_app(config, path, store_options(args)) {
+        Ok((meta, summary)) => {
+            println!(
+                "recorded {} — {} ({} ranks): {} events in {} chunks, {} bytes",
+                path.display(),
+                meta.config.app.name(),
+                meta.ranks.len(),
+                summary.events,
+                summary.chunks,
+                summary.bytes,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("record failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.get(1) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let path = std::path::Path::new(path);
+    let (report, meta, recovery) = match osn_core::recovered_report(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot analyze {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if !recovery.clean() {
+        println!(
+            "note: recovered a damaged store — {} torn chunk(s), {} event(s) lost, {} byte(s) dropped{}",
+            recovery.torn_chunks,
+            recovery.torn_events,
+            recovery.dropped_bytes,
+            if recovery.footer_ok { "" } else { ", footer missing" },
+        );
+    }
+    let full = PaperReport {
+        apps: vec![report.clone()],
+    };
+    println!(
+        "{} — {} ranks, wall {} (streamed out-of-core analysis)",
+        meta.config.app.name().to_uppercase(),
+        report.nranks,
+        report.wall
+    );
+    println!("\n== noise breakdown ==\n{}", full.render_breakdown());
+    println!("== per-event statistics (observed process) ==");
+    for class in EventClass::ALL {
+        let s = report.stats(class);
+        if s.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<24} {:>8.0}/s avg {:>10} max {:>12} min {:>8}",
+            class.name(),
+            s.freq_per_sec,
+            s.avg.to_string(),
+            s.max.to_string(),
+            s.min.to_string()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_info(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.get(1) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let path = std::path::Path::new(path);
+    let (reader, recovery) = match osn_core::store::Reader::recover(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}:", path.display());
+    println!("  cpus:            {}", reader.ncpus());
+    println!("  chunk capacity:  {} events", reader.chunk_capacity());
+    println!("  chunks:          {}", reader.chunks().len());
+    println!("  events:          {}", reader.events());
+    if let Some((start, end)) = reader.span() {
+        println!("  span:            {start} .. {end}");
+    }
+    let lost: u64 = reader.lost().iter().sum();
+    println!("  lost:            {lost}");
+    let payload: u64 = reader.chunks().iter().map(|c| c.payload_len as u64).sum();
+    let raw = reader.events() * 32;
+    if payload > 0 {
+        println!(
+            "  payload:         {} bytes ({:.2}x vs in-memory events)",
+            payload,
+            raw as f64 / payload as f64
+        );
+    }
+    match osn_core::StoredRunMeta::from_bytes(reader.metadata()) {
+        Ok(meta) => println!(
+            "  run:             {} x{} ranks, seed {:#x}, {}",
+            meta.config.app.name(),
+            meta.ranks.len(),
+            meta.config.node.seed,
+            meta.config.duration
+        ),
+        Err(_) if reader.metadata().is_empty() => println!("  run:             (no metadata)"),
+        Err(e) => println!("  run:             (unreadable metadata: {e})"),
+    }
+    if !recovery.clean() {
+        println!(
+            "  recovery:        {} torn chunk(s), {} event(s) lost, {} byte(s) dropped{}",
+            recovery.torn_chunks,
+            recovery.torn_events,
+            recovery.dropped_bytes,
+            if recovery.footer_ok {
+                ""
+            } else {
+                ", footer missing"
+            },
         );
     }
     ExitCode::SUCCESS

@@ -17,6 +17,7 @@ pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod scale;
+pub mod store;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
 pub use experiment::{run_app, AppRun, ExperimentConfig};
@@ -25,6 +26,10 @@ pub use figures::{
 };
 pub use report::{AppReport, PaperReport};
 pub use scale::{ScaleModel, ScalePoint};
+pub use store::{
+    analyze_store, load_campaign, load_run, persist_campaign, persist_run, record_app,
+    recovered_report, streamed_campaign_report, streamed_report, StoredRunMeta,
+};
 
 // Re-export the building blocks so downstream users need one import.
 pub use osn_analysis as analysis;

@@ -59,17 +59,25 @@ impl AppReport {
     /// The fused assembly against an independently supplied analysis
     /// (the throughput bench re-times the whole analyze+report phase).
     pub fn build_with(run: &AppRun, analysis: &NoiseAnalysis) -> AppReport {
-        let nranks = run.ranks.len().max(1);
-        let observed = [observed_rank_of(
-            analysis,
-            &run.ranks,
-            run.config.node.net_irq_cpu,
-        )];
-        let js = job_stats(analysis, &run.ranks, &observed);
+        Self::from_analysis(run.app, &run.ranks, run.config.node.net_irq_cpu, analysis)
+    }
+
+    /// The fused assembly from bare parts — no [`AppRun`] (and hence no
+    /// materialized trace) needed. This is the out-of-core entry point:
+    /// `osn-store` streaming analysis reports through here.
+    pub fn from_analysis(
+        app: App,
+        ranks: &[osn_kernel::ids::Tid],
+        net_irq_cpu: osn_kernel::ids::CpuId,
+        analysis: &NoiseAnalysis,
+    ) -> AppReport {
+        let nranks = ranks.len().max(1);
+        let observed = [observed_rank_of(analysis, ranks, net_irq_cpu)];
+        let js = job_stats(analysis, ranks, &observed);
         AppReport {
-            app: run.app,
+            app,
             nranks,
-            wall: wall_of(analysis, &run.ranks),
+            wall: wall_of(analysis, ranks),
             breakdown: js.breakdown.fractions(),
             noise_ratio: js.breakdown.noise_ratio(),
             classes: js.classes,

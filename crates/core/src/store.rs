@@ -1,0 +1,306 @@
+//! On-disk runs: persist traced experiments as `osn-store` files and
+//! analyze them back — either fully materialized or out-of-core.
+//!
+//! Two producer paths write a store:
+//!
+//! * [`persist_run`] — serialize a completed in-memory [`AppRun`];
+//! * [`record_app`] — run the experiment with a *spilling* trace
+//!   session, so per-CPU rings stream to disk while the node runs and
+//!   the trace is never resident in memory.
+//!
+//! Two consumer paths read one back:
+//!
+//! * [`load_run`] — materialize the trace and re-analyze, recovering a
+//!   full [`AppRun`] (byte-identical analysis to the original run);
+//! * [`streamed_report`] — out-of-core: per-CPU chunk iterators feed
+//!   [`NoiseAnalysis::analyze_streamed`], holding at most one decoded
+//!   chunk per CPU, and report through
+//!   [`AppReport::from_analysis`]. Differentially proven
+//!   bit-identical to the in-memory path.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use osn_analysis::NoiseAnalysis;
+use osn_kernel::ids::{CpuId, Tid};
+use osn_kernel::node::{Node, RunResult};
+use osn_store::{read_store, SpillWriter, StoreOptions, StoreReader, StoreSummary, StoreWriter};
+use osn_trace::session::{EventMask, TraceSession};
+use osn_trace::{Event, EventKind};
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{AppRun, ExperimentConfig};
+use crate::report::{AppReport, PaperReport};
+
+pub use osn_store as format;
+pub use osn_store::{RecoveryReport, StoreOptions as Options, StoreReader as Reader};
+
+/// How often the background spill thread sweeps the rings while the
+/// node runs. The simulation produces events far faster than wall
+/// time, so this is a ring-pressure knob, not a latency one.
+const SPILL_POLL: Duration = Duration::from_micros(100);
+
+/// Everything about a run except its events, stored as the footer's
+/// JSON metadata blob: enough to re-analyze the trace without re-running
+/// the simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoredRunMeta {
+    pub config: ExperimentConfig,
+    pub result: RunResult,
+    /// Tids of the application's ranks (the job table is not
+    /// persisted, so rank membership is).
+    pub ranks: Vec<Tid>,
+}
+
+impl StoredRunMeta {
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("run metadata serializes")
+    }
+
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<StoredRunMeta> {
+        serde_json::from_slice(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("run metadata: {e}")))
+    }
+}
+
+/// Persist a completed in-memory run as a store file (trace, loss
+/// counters, and [`StoredRunMeta`] footer blob).
+pub fn persist_run(run: &AppRun, path: &Path, opts: StoreOptions) -> io::Result<StoreSummary> {
+    let meta = StoredRunMeta {
+        config: run.config.clone(),
+        result: run.result.clone(),
+        ranks: run.ranks.clone(),
+    };
+    osn_store::writer::write_store(path, &run.trace, &meta.to_bytes(), opts)
+}
+
+/// Run one application with the trace *spilling to disk as it runs*:
+/// a background thread drains the per-CPU rings into chunked store
+/// writes, so memory holds only ring + chunk buffers, never the trace.
+/// Returns the run metadata and the written-file summary; analyze the
+/// file with [`streamed_report`] or [`load_run`].
+pub fn record_app(
+    config: ExperimentConfig,
+    path: &Path,
+    opts: StoreOptions,
+) -> io::Result<(StoredRunMeta, StoreSummary)> {
+    let ncpus = config.node.cpus as usize;
+    let writer = StoreWriter::create(path, ncpus.max(1), opts)?;
+    let spill = SpillWriter::new(writer);
+
+    let mut node = Node::new(config.node.clone());
+    let job = node.spawn_job(
+        config.app.name(),
+        osn_workloads::ranks(config.app, config.nranks, config.duration),
+    );
+    for (i, helper) in osn_workloads::helpers(config.app, config.duration)
+        .into_iter()
+        .enumerate()
+    {
+        node.spawn_process(&format!("python.{i}"), helper);
+    }
+    let (mut session, mut tracer) = TraceSession::new(ncpus, config.ring_capacity, EventMask::ALL);
+    session.spill(Box::new(spill.clone()), Some(SPILL_POLL));
+    let result = node.run(&mut tracer);
+    let lost = session.stop_spill()?;
+    let ranks = result.job_ranks(job);
+    let meta = StoredRunMeta {
+        config,
+        result,
+        ranks,
+    };
+    let summary = spill.finish(&lost, meta.to_bytes())?;
+    Ok((meta, summary))
+}
+
+/// Materialize a stored run: read the trace back (byte-identical to
+/// the in-memory original), parse the metadata, and re-analyze.
+pub fn load_run(path: &Path) -> io::Result<AppRun> {
+    let (trace, meta_bytes) = read_store(path)?;
+    let meta = StoredRunMeta::from_bytes(&meta_bytes)?;
+    let analysis = NoiseAnalysis::analyze(&trace, &meta.result.tasks, meta.result.end_time);
+    Ok(AppRun {
+        app: meta.config.app,
+        config: meta.config,
+        trace,
+        result: meta.result,
+        ranks: meta.ranks,
+        analysis,
+    })
+}
+
+/// Is this event consumed by timeline reconstruction?
+#[inline]
+fn is_sched(e: &Event) -> bool {
+    matches!(
+        e.kind,
+        EventKind::SchedSwitch { .. } | EventKind::Wakeup { .. }
+    )
+}
+
+/// Out-of-core analysis of an open store: per-CPU chunk streams feed
+/// the sharded reconstruction directly, so at most one decoded chunk
+/// per CPU is resident (`reader.stats()` proves the bound). The
+/// scheduler-event subset for timelines is collected in a separate
+/// single pass — it is a tiny fraction of the trace.
+///
+/// Output is bit-identical to `NoiseAnalysis::analyze` on the
+/// materialized trace: per-CPU streams are identical, and the
+/// scheduler filter commutes with the `(t, cpu)` merge.
+pub fn analyze_store(reader: &StoreReader, result: &RunResult) -> io::Result<NoiseAnalysis> {
+    let errors_before = reader.stats().decode_errors;
+    let ncpus = reader.ncpus();
+
+    // Sched events per CPU are time-ordered; a stable sort on the
+    // merge key reproduces the k-way `(t, cpu)` merge exactly.
+    let mut sched: Vec<Event> = Vec::new();
+    for c in 0..ncpus {
+        sched.extend(reader.cpu_stream(CpuId(c as u16)).filter(is_sched));
+    }
+    sched.sort_by_key(|e| e.key());
+
+    let streams = (0..ncpus)
+        .map(|c| reader.cpu_stream(CpuId(c as u16)))
+        .collect();
+    let workers = osn_analysis::default_workers(ncpus.max(result.tasks.len()));
+    let analysis =
+        NoiseAnalysis::analyze_streamed(streams, &sched, &result.tasks, result.end_time, workers);
+
+    // Streams poison (end early) on a corrupt chunk; surface that as
+    // an error instead of a silently truncated analysis.
+    let errors = reader.stats().decode_errors - errors_before;
+    if errors > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{errors} chunk(s) failed to decode during streamed analysis"),
+        ));
+    }
+    Ok(analysis)
+}
+
+/// Fully out-of-core report of one stored run: open, stream-analyze,
+/// and assemble the paper report without ever materializing the trace.
+pub fn streamed_report(path: &Path) -> io::Result<(AppReport, StoredRunMeta)> {
+    let reader = StoreReader::open(path)?;
+    let meta = StoredRunMeta::from_bytes(reader.metadata())?;
+    let analysis = analyze_store(&reader, &meta.result)?;
+    let report = AppReport::from_analysis(
+        meta.config.app,
+        &meta.ranks,
+        meta.config.node.net_irq_cpu,
+        &analysis,
+    );
+    Ok((report, meta))
+}
+
+/// [`streamed_report`] for possibly-damaged files: open through
+/// [`StoreReader::recover`] (a torn final chunk is dropped and charged
+/// to the loss counters) and report what was salvaged alongside the
+/// recovery summary.
+pub fn recovered_report(path: &Path) -> io::Result<(AppReport, StoredRunMeta, RecoveryReport)> {
+    let (reader, recovery) = StoreReader::recover(path)?;
+    let meta = StoredRunMeta::from_bytes(reader.metadata())?;
+    let analysis = analyze_store(&reader, &meta.result)?;
+    let report = AppReport::from_analysis(
+        meta.config.app,
+        &meta.ranks,
+        meta.config.node.net_irq_cpu,
+        &analysis,
+    );
+    Ok((report, meta, recovery))
+}
+
+/// Persist a whole campaign: one `<app>.osn` per run under `dir`
+/// (created if missing). Returns the written paths in run order.
+pub fn persist_campaign(
+    runs: &[AppRun],
+    dir: &Path,
+    opts: StoreOptions,
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(runs.len());
+    for run in runs {
+        let path = dir.join(format!("{}.osn", run.app.name()));
+        persist_run(run, &path, opts)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Reload a persisted campaign (every `*.osn` under `dir`, sorted by
+/// file name for determinism) and materialize each run.
+pub fn load_campaign(dir: &Path) -> io::Result<Vec<AppRun>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "osn"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| load_run(p)).collect()
+}
+
+/// The fully streamed campaign report: every `*.osn` under `dir` is
+/// analyzed out-of-core and assembled into a [`PaperReport`], app order
+/// following file-name order.
+pub fn streamed_campaign_report(dir: &Path) -> io::Result<PaperReport> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "osn"))
+        .collect();
+    paths.sort();
+    let apps = paths
+        .iter()
+        .map(|p| streamed_report(p).map(|(r, _)| r))
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok(PaperReport { apps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::time::Nanos;
+    use osn_workloads::App;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("osn-core-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_config(app: App) -> ExperimentConfig {
+        let mut config = ExperimentConfig::paper(app, Nanos::from_millis(150));
+        config.node.cpus = 2;
+        config.nranks = 2;
+        config
+    }
+
+    #[test]
+    fn persist_then_load_roundtrips() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("sphot.osn");
+        let run = crate::experiment::run_app(tiny_config(App::Sphot));
+        persist_run(&run, &path, StoreOptions::default()).unwrap();
+        let loaded = load_run(&path).unwrap();
+        assert_eq!(loaded.trace.events, run.trace.events);
+        assert_eq!(loaded.trace.lost, run.trace.lost);
+        assert_eq!(loaded.ranks, run.ranks);
+        assert_eq!(loaded.result.end_time, run.result.end_time);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_app_matches_run_app() {
+        let dir = tmpdir("record");
+        let path = dir.join("amg.osn");
+        let config = tiny_config(App::Amg);
+        let (meta, summary) = record_app(config.clone(), &path, StoreOptions::default()).unwrap();
+        assert!(summary.events > 0);
+        let reference = crate::experiment::run_app(config);
+        let loaded = load_run(&path).unwrap();
+        assert_eq!(loaded.trace.events, reference.trace.events);
+        assert_eq!(meta.ranks, reference.ranks);
+        assert_eq!(meta.result.end_time, reference.result.end_time);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,583 @@
+//! Reading side of the store: strict opening via the footer index
+//! ([`StoreReader::open`]), truncation-tolerant opening via a forward
+//! chunk scan ([`StoreReader::recover`]), full materialization back to
+//! a [`Trace`], and the bounded-memory per-CPU chunk cursor
+//! ([`CpuStream`]) that the streamed analysis path consumes.
+
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use osn_kernel::ids::CpuId;
+use osn_kernel::time::Nanos;
+use osn_trace::wire::fnv1a64;
+use osn_trace::{Event, Trace};
+
+use crate::chunk::{decode_chunk, ChunkHeader, ChunkMeta, CHUNK_HEADER_BYTES};
+use crate::{
+    StoreError, END_MAGIC, FILE_HEADER_BYTES, FILE_MAGIC, FOOTER_MAGIC, STORE_VERSION,
+    TRAILER_BYTES,
+};
+
+/// Bytes per footer-index entry.
+const INDEX_ENTRY_BYTES: usize = 36;
+
+/// Shared gauge of decoded-chunk residency. Every [`CpuStream`] holds
+/// at most one decoded chunk; `peak_resident` across all concurrent
+/// streams is therefore bounded by the number of streams — the
+/// invariant the out-of-core analysis differential test asserts.
+#[derive(Debug, Default)]
+pub struct ChunkStats {
+    resident: AtomicUsize,
+    peak_resident: AtomicUsize,
+    decoded: AtomicUsize,
+    decode_errors: AtomicUsize,
+}
+
+impl ChunkStats {
+    fn acquire(&self) {
+        let now = self.resident.fetch_add(1, Ordering::AcqRel) + 1;
+        self.peak_resident.fetch_max(now, Ordering::AcqRel);
+    }
+
+    fn release(&self) {
+        self.resident.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn snapshot(&self) -> ChunkStatsSnapshot {
+        ChunkStatsSnapshot {
+            resident: self.resident.load(Ordering::Acquire),
+            peak_resident: self.peak_resident.load(Ordering::Acquire),
+            decoded: self.decoded.load(Ordering::Acquire),
+            decode_errors: self.decode_errors.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Point-in-time view of a reader's chunk accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkStatsSnapshot {
+    /// Decoded chunks currently held by live [`CpuStream`]s.
+    pub resident: usize,
+    /// High-water mark of `resident` since the last reset.
+    pub peak_resident: usize,
+    /// Total chunks decoded (streams + random access).
+    pub decoded: usize,
+    /// Chunks that failed validation during streaming (a poisoned
+    /// stream ends early; callers must treat nonzero as failure).
+    pub decode_errors: usize,
+}
+
+/// What [`StoreReader::recover`] had to do to open the file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chunks dropped because their payload was short or failed its
+    /// checksum (with append-only writes: at most the final chunk).
+    pub torn_chunks: usize,
+    /// Events lost with those chunks, as declared by their headers
+    /// (charged into the per-CPU `lost` counters).
+    pub torn_events: u64,
+    /// File bytes after the last valid chunk that were discarded.
+    pub dropped_bytes: u64,
+    /// Whether the footer block itself was intact (loss counters and
+    /// metadata survive only if it was).
+    pub footer_ok: bool,
+}
+
+impl RecoveryReport {
+    /// True when the file needed no repair at all.
+    pub fn clean(&self) -> bool {
+        self.torn_chunks == 0 && self.dropped_bytes == 0 && self.footer_ok
+    }
+}
+
+struct FileHeader {
+    ncpus: usize,
+    chunk_capacity: usize,
+}
+
+struct Footer {
+    lost: Vec<u64>,
+    meta: Vec<u8>,
+    chunks: Vec<ChunkMeta>,
+}
+
+/// Random-access view of a store file.
+pub struct StoreReader {
+    file: Arc<File>,
+    ncpus: usize,
+    chunk_capacity: usize,
+    lost: Vec<u64>,
+    meta: Vec<u8>,
+    /// All chunks in file (= per-CPU time) order.
+    chunks: Vec<ChunkMeta>,
+    /// Positions into `chunks` per CPU, time-ordered.
+    per_cpu: Vec<Vec<u32>>,
+    stats: Arc<ChunkStats>,
+}
+
+impl StoreReader {
+    /// Open a completely written store via its footer index. Fails
+    /// with a typed error on any damage; use [`StoreReader::recover`]
+    /// to salvage a torn file.
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let header = read_file_header(&file)?;
+        let footer = parse_footer(&file, file_len, header.ncpus)?;
+        Self::assemble(file, header, footer.lost, footer.meta, footer.chunks)
+    }
+
+    /// Open a possibly torn store by scanning chunks forward from the
+    /// file header, validating each payload checksum. A torn final
+    /// chunk (short read or checksum failure — a crashed recorder) is
+    /// dropped and its events are charged to the per-CPU loss
+    /// counters, so downstream accounting sees them on the same
+    /// channel as ring-buffer drops. The footer, when intact, still
+    /// supplies loss counters and metadata.
+    pub fn recover(path: &Path) -> Result<(StoreReader, RecoveryReport), StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let header = read_file_header(&file)?;
+        let mut report = RecoveryReport::default();
+        let mut chunks: Vec<ChunkMeta> = Vec::new();
+        let mut torn_lost = vec![0u64; header.ncpus];
+
+        let mut pos = FILE_HEADER_BYTES as u64;
+        loop {
+            if pos + 4 > file_len {
+                report.dropped_bytes = file_len - pos;
+                break;
+            }
+            let mut magic = [0u8; 4];
+            file.read_exact_at(&mut magic, pos)?;
+            if u32::from_le_bytes(magic) == FOOTER_MAGIC {
+                break; // clean end of the chunk region
+            }
+            if pos + CHUNK_HEADER_BYTES as u64 > file_len {
+                report.dropped_bytes = file_len - pos;
+                break;
+            }
+            let mut raw = [0u8; CHUNK_HEADER_BYTES];
+            file.read_exact_at(&mut raw, pos)?;
+            let Ok(h) = ChunkHeader::parse(&raw) else {
+                // Not a chunk header: garbage tail of unknown extent.
+                report.dropped_bytes = file_len - pos;
+                break;
+            };
+            let torn = |report: &mut RecoveryReport, torn_lost: &mut Vec<u64>| {
+                report.torn_chunks += 1;
+                report.torn_events += h.count as u64;
+                if (h.cpu as usize) < torn_lost.len() {
+                    torn_lost[h.cpu as usize] += h.count as u64;
+                }
+                report.dropped_bytes = file_len - pos;
+            };
+            if h.cpu as usize >= header.ncpus
+                || pos + (CHUNK_HEADER_BYTES + h.payload_len as usize) as u64 > file_len
+            {
+                torn(&mut report, &mut torn_lost);
+                break;
+            }
+            let mut payload = vec![0u8; h.payload_len as usize];
+            file.read_exact_at(&mut payload, pos + CHUNK_HEADER_BYTES as u64)?;
+            if fnv1a64(&payload) != h.checksum {
+                torn(&mut report, &mut torn_lost);
+                break;
+            }
+            chunks.push(ChunkMeta::from_header(pos, &h));
+            pos += (CHUNK_HEADER_BYTES + h.payload_len as usize) as u64;
+        }
+
+        // The footer may still be intact (e.g. mid-file bit rot rather
+        // than truncation); salvage loss counters and metadata if so.
+        let (mut lost, meta) = match parse_footer(&file, file_len, header.ncpus) {
+            Ok(footer) => {
+                report.footer_ok = true;
+                (footer.lost, footer.meta)
+            }
+            Err(_) => (vec![0u64; header.ncpus], Vec::new()),
+        };
+        for (slot, torn) in lost.iter_mut().zip(&torn_lost) {
+            *slot += torn;
+        }
+        let reader = Self::assemble(file, header, lost, meta, chunks)?;
+        Ok((reader, report))
+    }
+
+    fn assemble(
+        file: File,
+        header: FileHeader,
+        lost: Vec<u64>,
+        meta: Vec<u8>,
+        chunks: Vec<ChunkMeta>,
+    ) -> Result<StoreReader, StoreError> {
+        let mut per_cpu: Vec<Vec<u32>> = (0..header.ncpus).map(|_| Vec::new()).collect();
+        for (i, m) in chunks.iter().enumerate() {
+            let c = m.cpu as usize;
+            if c >= header.ncpus {
+                return Err(StoreError::CorruptChunk {
+                    offset: m.offset,
+                    reason: "cpu out of range",
+                });
+            }
+            if let Some(&prev) = per_cpu[c].last() {
+                if chunks[prev as usize].t_last > m.t_first {
+                    return Err(StoreError::CorruptChunk {
+                        offset: m.offset,
+                        reason: "chunks out of time order",
+                    });
+                }
+            }
+            per_cpu[c].push(i as u32);
+        }
+        Ok(StoreReader {
+            file: Arc::new(file),
+            ncpus: header.ncpus,
+            chunk_capacity: header.chunk_capacity,
+            lost,
+            meta,
+            chunks,
+            per_cpu,
+            stats: Arc::new(ChunkStats::default()),
+        })
+    }
+
+    #[inline]
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
+    }
+
+    #[inline]
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
+    }
+
+    /// Per-CPU loss counters (ring drops, plus torn-chunk events when
+    /// opened via [`StoreReader::recover`]).
+    #[inline]
+    pub fn lost(&self) -> &[u64] {
+        &self.lost
+    }
+
+    /// The opaque metadata blob attached at write time.
+    #[inline]
+    pub fn metadata(&self) -> &[u8] {
+        &self.meta
+    }
+
+    /// All chunk index entries, in file order.
+    #[inline]
+    pub fn chunks(&self) -> &[ChunkMeta] {
+        &self.chunks
+    }
+
+    /// Total events across all chunks (excluding lost).
+    pub fn events(&self) -> u64 {
+        self.chunks.iter().map(|m| m.count as u64).sum()
+    }
+
+    /// Time span covered by the stored chunks.
+    pub fn span(&self) -> Option<(Nanos, Nanos)> {
+        let first = self.chunks.iter().map(|m| m.t_first).min()?;
+        let last = self.chunks.iter().map(|m| m.t_last).max()?;
+        Some((first, last))
+    }
+
+    /// Chunk accounting snapshot (see [`ChunkStatsSnapshot`]).
+    pub fn stats(&self) -> ChunkStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Index lookup: the chunks of `cpu` overlapping `[lo, hi]`, in
+    /// time order — two binary searches over the footer index, no file
+    /// access. With `range = None`, all of the CPU's chunks.
+    pub fn chunks_for(
+        &self,
+        cpu: CpuId,
+        range: Option<(Nanos, Nanos)>,
+    ) -> impl Iterator<Item = &ChunkMeta> + '_ {
+        let positions = self
+            .per_cpu
+            .get(cpu.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let window = match range {
+            None => positions,
+            Some((lo, hi)) => {
+                // Per-CPU chunks are time-ordered with nondecreasing
+                // t_first *and* t_last, so the overlap set is a
+                // contiguous run.
+                let start = positions.partition_point(|&i| self.chunks[i as usize].t_last < lo);
+                let end = positions.partition_point(|&i| self.chunks[i as usize].t_first <= hi);
+                &positions[start..end.max(start)]
+            }
+        };
+        window.iter().map(|&i| &self.chunks[i as usize])
+    }
+
+    /// Fetch and decode one chunk (random access; checksum-verified).
+    pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> {
+        let events = fetch_chunk(&self.file, meta)?;
+        self.stats.decoded.fetch_add(1, Ordering::AcqRel);
+        Ok(events)
+    }
+
+    /// A bounded-memory cursor over one CPU's events: holds at most
+    /// one decoded chunk at a time (tracked by the reader's
+    /// [`ChunkStats`]). A chunk that fails validation poisons the
+    /// stream: it ends early and `stats().decode_errors` goes nonzero.
+    pub fn cpu_stream(&self, cpu: CpuId) -> CpuStream {
+        let metas: Vec<ChunkMeta> = self.chunks_for(cpu, None).copied().collect();
+        CpuStream {
+            file: Arc::clone(&self.file),
+            metas,
+            next_chunk: 0,
+            buf: Vec::new(),
+            pos: 0,
+            resident: false,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Materialize the full trace — the inverse of
+    /// [`crate::writer::write_store`], byte-identical to the in-memory
+    /// collection path: per-CPU chunk streams are k-way merged exactly
+    /// like `TraceSession::stop` merges its rings.
+    pub fn read_trace(&self) -> Result<Trace, StoreError> {
+        let mut streams: Vec<Vec<Event>> = Vec::with_capacity(self.ncpus);
+        for c in 0..self.ncpus {
+            let positions = &self.per_cpu[c];
+            let total: usize = positions
+                .iter()
+                .map(|&i| self.chunks[i as usize].count as usize)
+                .sum();
+            let mut stream = Vec::with_capacity(total);
+            for &i in positions {
+                stream.extend(self.read_chunk(&self.chunks[i as usize])?);
+            }
+            streams.push(stream);
+        }
+        Ok(Trace::from_streams(streams, self.lost.clone()))
+    }
+}
+
+/// A bounded-memory iterator over one CPU's stored events. See
+/// [`StoreReader::cpu_stream`].
+pub struct CpuStream {
+    file: Arc<File>,
+    metas: Vec<ChunkMeta>,
+    next_chunk: usize,
+    buf: Vec<Event>,
+    pos: usize,
+    resident: bool,
+    stats: Arc<ChunkStats>,
+}
+
+impl CpuStream {
+    /// Total events this stream will yield if no chunk is corrupt.
+    pub fn remaining_events(&self) -> u64 {
+        let buffered = (self.buf.len() - self.pos) as u64;
+        self.metas[self.next_chunk..]
+            .iter()
+            .map(|m| m.count as u64)
+            .sum::<u64>()
+            + buffered
+    }
+
+    fn release(&mut self) {
+        if self.resident {
+            self.stats.release();
+            self.resident = false;
+        }
+        self.buf.clear();
+        self.pos = 0;
+    }
+}
+
+impl Iterator for CpuStream {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            if self.pos < self.buf.len() {
+                let e = self.buf[self.pos];
+                self.pos += 1;
+                return Some(e);
+            }
+            self.release();
+            if self.next_chunk >= self.metas.len() {
+                return None;
+            }
+            let meta = self.metas[self.next_chunk];
+            self.next_chunk += 1;
+            match fetch_chunk(&self.file, &meta) {
+                Ok(events) => {
+                    self.stats.decoded.fetch_add(1, Ordering::AcqRel);
+                    self.stats.acquire();
+                    self.resident = true;
+                    self.buf = events;
+                    self.pos = 0;
+                }
+                Err(_) => {
+                    // Poison: record and end the stream. Consumers
+                    // check `decode_errors` after draining.
+                    self.stats.decode_errors.fetch_add(1, Ordering::AcqRel);
+                    self.next_chunk = self.metas.len();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for CpuStream {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Read, verify, and decode one chunk from the file.
+fn fetch_chunk(file: &File, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> {
+    let corrupt = |reason: &'static str| StoreError::CorruptChunk {
+        offset: meta.offset,
+        reason,
+    };
+    let mut raw = vec![0u8; CHUNK_HEADER_BYTES + meta.payload_len as usize];
+    file.read_exact_at(&mut raw, meta.offset)?;
+    let header_bytes: &[u8; CHUNK_HEADER_BYTES] = raw[..CHUNK_HEADER_BYTES].try_into().unwrap();
+    let header = ChunkHeader::parse(header_bytes).map_err(corrupt)?;
+    let on_disk = ChunkMeta::from_header(meta.offset, &header);
+    if on_disk != *meta {
+        return Err(corrupt("index disagrees with chunk header"));
+    }
+    let payload = &raw[CHUNK_HEADER_BYTES..];
+    if fnv1a64(payload) != header.checksum {
+        return Err(corrupt("payload checksum mismatch"));
+    }
+    decode_chunk(meta, payload)
+}
+
+fn read_file_header(file: &File) -> Result<FileHeader, StoreError> {
+    let mut raw = [0u8; FILE_HEADER_BYTES];
+    file.read_exact_at(&mut raw, 0).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::BadMagic // shorter than any store file
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    if &raw[..8] != FILE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let u32_at = |i: usize| u32::from_le_bytes(raw[i..i + 4].try_into().unwrap());
+    let version = u32_at(8);
+    if version != STORE_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: version,
+            supported: STORE_VERSION,
+        });
+    }
+    let ncpus = u32_at(12) as usize;
+    let chunk_capacity = u32_at(16) as usize;
+    if ncpus == 0 || ncpus > u16::MAX as usize || chunk_capacity == 0 {
+        return Err(StoreError::CorruptFooter("implausible file header"));
+    }
+    Ok(FileHeader {
+        ncpus,
+        chunk_capacity,
+    })
+}
+
+fn parse_footer(file: &File, file_len: u64, ncpus: usize) -> Result<Footer, StoreError> {
+    let corrupt = StoreError::CorruptFooter;
+    if file_len < (FILE_HEADER_BYTES + TRAILER_BYTES) as u64 {
+        return Err(corrupt("file too short for a trailer"));
+    }
+    let mut trailer = [0u8; TRAILER_BYTES];
+    file.read_exact_at(&mut trailer, file_len - TRAILER_BYTES as u64)?;
+    if &trailer[16..24] != END_MAGIC {
+        return Err(corrupt("missing end magic"));
+    }
+    let crc = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+    let footer_len = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+    let max_footer = file_len - (FILE_HEADER_BYTES + TRAILER_BYTES) as u64;
+    if footer_len > max_footer {
+        return Err(corrupt("footer length out of range"));
+    }
+    let footer_start = file_len - TRAILER_BYTES as u64 - footer_len;
+    let mut raw = vec![0u8; footer_len as usize];
+    file.read_exact_at(&mut raw, footer_start)?;
+    if fnv1a64(&raw) != crc {
+        return Err(corrupt("footer checksum mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<std::ops::Range<usize>, StoreError> {
+        if *pos + n > raw.len() {
+            return Err(StoreError::CorruptFooter("footer truncated"));
+        }
+        let r = *pos..*pos + n;
+        *pos += n;
+        Ok(r)
+    };
+    let u32_field =
+        |raw: &[u8], r: std::ops::Range<usize>| u32::from_le_bytes(raw[r].try_into().unwrap());
+    let u64_field =
+        |raw: &[u8], r: std::ops::Range<usize>| u64::from_le_bytes(raw[r].try_into().unwrap());
+
+    if u32_field(&raw, take(&mut pos, 4)?) != FOOTER_MAGIC {
+        return Err(corrupt("bad footer magic"));
+    }
+    if u32_field(&raw, take(&mut pos, 4)?) != STORE_VERSION {
+        return Err(corrupt("footer version mismatch"));
+    }
+    if u32_field(&raw, take(&mut pos, 4)?) as usize != ncpus {
+        return Err(corrupt("footer cpu count disagrees with header"));
+    }
+    let mut lost = Vec::with_capacity(ncpus);
+    for _ in 0..ncpus {
+        lost.push(u64_field(&raw, take(&mut pos, 8)?));
+    }
+    let meta_len = u32_field(&raw, take(&mut pos, 4)?) as usize;
+    let meta = raw[take(&mut pos, meta_len)?].to_vec();
+    let nchunks = u32_field(&raw, take(&mut pos, 4)?) as usize;
+    if raw.len() - pos != nchunks * INDEX_ENTRY_BYTES {
+        return Err(corrupt("index size disagrees with chunk count"));
+    }
+    let mut chunks = Vec::with_capacity(nchunks);
+    for _ in 0..nchunks {
+        let offset = u64_field(&raw, take(&mut pos, 8)?);
+        let cpu = u16::from_le_bytes(raw[take(&mut pos, 2)?].try_into().unwrap());
+        let flags = u16::from_le_bytes(raw[take(&mut pos, 2)?].try_into().unwrap());
+        let count = u32_field(&raw, take(&mut pos, 4)?);
+        let payload_len = u32_field(&raw, take(&mut pos, 4)?);
+        let t_first = Nanos(u64_field(&raw, take(&mut pos, 8)?));
+        let t_last = Nanos(u64_field(&raw, take(&mut pos, 8)?));
+        let end = offset
+            .checked_add((CHUNK_HEADER_BYTES + payload_len as usize) as u64)
+            .ok_or(corrupt("chunk offset overflow"))?;
+        if offset < FILE_HEADER_BYTES as u64 || end > footer_start {
+            return Err(corrupt("chunk outside the chunk region"));
+        }
+        chunks.push(ChunkMeta {
+            offset,
+            cpu,
+            flags,
+            count,
+            payload_len,
+            t_first,
+            t_last,
+        });
+    }
+    Ok(Footer { lost, meta, chunks })
+}
+
+/// One-call convenience: open strictly and materialize the trace.
+pub fn read_store(path: &Path) -> Result<(Trace, Vec<u8>), StoreError> {
+    let reader = StoreReader::open(path)?;
+    let trace = reader.read_trace()?;
+    Ok((trace, reader.meta))
+}

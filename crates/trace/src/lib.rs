@@ -31,4 +31,4 @@ pub mod wire;
 pub use event::{Event, EventKind, Trace};
 pub use flight::FlightRecorder;
 pub use merge::merge_streams;
-pub use session::{EventMask, TraceSession, Tracer};
+pub use session::{EventMask, EventSink, TraceSession, Tracer};

@@ -1,15 +1,23 @@
 //! Binary trace serialization (the on-disk format, CTF-lite).
 //!
-//! Fixed 32-byte little-endian records behind a small header:
+//! Fixed 32-byte little-endian records behind a small header, followed
+//! by a whole-image checksum:
 //!
 //! ```text
 //! header:  magic "OSNTRACE" | u32 version | u32 ncpus
 //!          ncpus × u64 lost-counters | u64 event count
 //! record:  u64 t | u16 cpu | u16 code | u32 tid | u64 a | u64 b
+//! trailer: u64 fnv1a-64 over every preceding byte   (version ≥ 2)
 //! ```
 //!
 //! Fixed-size records keep the producer path branch-free and make the
 //! file seekable; the `code`/`a`/`b` encoding is append-only versioned.
+//! Version 1 files (no trailing checksum) are still readable behind an
+//! explicit fallback in [`decode`]; anything else is rejected with
+//! [`WireError::VersionMismatch`] instead of being parsed as garbage.
+//!
+//! The `(code, tid, a, b)` kind packing is shared with the chunked
+//! store format (`osn-store`) via [`pack_record`]/[`unpack_record`].
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -21,14 +29,25 @@ use osn_kernel::time::Nanos;
 use crate::event::{Event, EventKind, Trace};
 
 pub const MAGIC: &[u8; 8] = b"OSNTRACE";
-pub const VERSION: u32 = 1;
+/// Current format: v2 = v1 plus a trailing fnv1a-64 image checksum.
+pub const VERSION: u32 = 2;
+/// Oldest version still decodable (explicit fallback, no checksum).
+pub const LEGACY_VERSION: u32 = 1;
 pub const RECORD_BYTES: usize = 32;
+/// Trailing checksum size for `VERSION` ≥ 2 images.
+pub const CHECKSUM_BYTES: usize = 8;
 
 /// Decoding errors.
 #[derive(Debug, PartialEq, Eq)]
 pub enum WireError {
     BadMagic,
-    BadVersion(u32),
+    /// The image's version is neither current nor the legacy fallback.
+    VersionMismatch {
+        found: u32,
+        supported: u32,
+    },
+    /// The trailing image checksum does not match the payload.
+    ChecksumMismatch,
     Truncated,
     BadCode(u16),
     BadActivity(u16),
@@ -39,7 +58,10 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::BadMagic => write!(f, "bad magic"),
-            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::VersionMismatch { found, supported } => {
+                write!(f, "unsupported version {found} (supported ≤ {supported})")
+            }
+            WireError::ChecksumMismatch => write!(f, "image checksum mismatch"),
             WireError::Truncated => write!(f, "truncated stream"),
             WireError::BadCode(c) => write!(f, "unknown record code {c}"),
             WireError::BadActivity(c) => write!(f, "unknown activity code {c}"),
@@ -49,6 +71,18 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit hash — the integrity check for wire images and store
+/// chunks. Not cryptographic; it exists to catch torn writes and bit
+/// rot, like CTF's packet checksums.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 mod code {
     pub const ENTER: u16 = 1;
@@ -61,10 +95,10 @@ mod code {
     pub const TASK_EXIT: u16 = 8;
 }
 
-fn encode_record(buf: &mut BytesMut, e: &Event) {
-    buf.put_u64_le(e.t.as_nanos());
-    buf.put_u16_le(e.cpu.0);
-    let (c, tid, a, b) = match e.kind {
+/// Pack an event's kind into the fixed `(code, tid, a, b)` wire tuple
+/// shared by the whole-trace format and the chunked store.
+pub fn pack_record(e: &Event) -> (u16, u32, u64, u64) {
+    match e.kind {
         EventKind::KernelEnter(act) => (code::ENTER, e.tid.0, act.code() as u64, 0),
         EventKind::KernelExit(act) => (code::EXIT, e.tid.0, act.code() as u64, 0),
         EventKind::SoftirqRaise(vec) => (
@@ -92,23 +126,13 @@ fn encode_record(buf: &mut BytesMut, e: &Event) {
         ),
         EventKind::AppMark { mark, value } => (code::MARK, e.tid.0, mark as u64, value),
         EventKind::TaskExit { tid } => (code::TASK_EXIT, tid.0, 0, 0),
-    };
-    buf.put_u16_le(c);
-    buf.put_u32_le(tid);
-    buf.put_u64_le(a);
-    buf.put_u64_le(b);
+    }
 }
 
-fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
-    if buf.remaining() < RECORD_BYTES {
-        return Err(WireError::Truncated);
-    }
-    let t = Nanos(buf.get_u64_le());
-    let cpu = CpuId(buf.get_u16_le());
-    let c = buf.get_u16_le();
-    let tid = Tid(buf.get_u32_le());
-    let a = buf.get_u64_le();
-    let b = buf.get_u64_le();
+/// Reverse of [`pack_record`]: rebuild the context tid and kind from
+/// the wire tuple.
+pub fn unpack_record(c: u16, tid: u32, a: u64, b: u64) -> Result<(Tid, EventKind), WireError> {
+    let tid = Tid(tid);
     let activity =
         |code: u64| Activity::from_code(code as u16).ok_or(WireError::BadActivity(code as u16));
     let kind = match c {
@@ -149,6 +173,30 @@ fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
         EventKind::Wakeup { waker, .. } => waker,
         _ => tid,
     };
+    Ok((ctx_tid, kind))
+}
+
+fn encode_record(buf: &mut BytesMut, e: &Event) {
+    buf.put_u64_le(e.t.as_nanos());
+    buf.put_u16_le(e.cpu.0);
+    let (c, tid, a, b) = pack_record(e);
+    buf.put_u16_le(c);
+    buf.put_u32_le(tid);
+    buf.put_u64_le(a);
+    buf.put_u64_le(b);
+}
+
+fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
+    if buf.remaining() < RECORD_BYTES {
+        return Err(WireError::Truncated);
+    }
+    let t = Nanos(buf.get_u64_le());
+    let cpu = CpuId(buf.get_u16_le());
+    let c = buf.get_u16_le();
+    let tid = buf.get_u32_le();
+    let a = buf.get_u64_le();
+    let b = buf.get_u64_le();
+    let (ctx_tid, kind) = unpack_record(c, tid, a, b)?;
     Ok(Event {
         t,
         cpu,
@@ -159,14 +207,16 @@ fn decode_record(buf: &mut Bytes) -> Result<Event, WireError> {
 
 /// Exact number of bytes [`encode`] produces for `trace`.
 pub fn encoded_len(trace: &Trace) -> usize {
-    MAGIC.len() + 8 + trace.lost.len() * 8 + 8 + trace.events.len() * RECORD_BYTES
+    MAGIC.len() + 8 + trace.lost.len() * 8 + 8 + trace.events.len() * RECORD_BYTES + CHECKSUM_BYTES
 }
 
 /// Append the full wire image of `trace` to `buf` (header, lost
-/// counters, then every record batched in one pass). Reserves the
-/// exact size up front so the emission loop never reallocates.
+/// counters, every record, then the image checksum, batched in one
+/// pass). Reserves the exact size up front so the emission loop never
+/// reallocates.
 pub fn encode_into(trace: &Trace, buf: &mut BytesMut) {
     buf.reserve(encoded_len(trace));
+    let start = buf.len();
     buf.put_slice(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u32_le(trace.lost.len() as u32);
@@ -177,6 +227,8 @@ pub fn encode_into(trace: &Trace, buf: &mut BytesMut) {
     for e in &trace.events {
         encode_record(buf, e);
     }
+    let sum = fnv1a64(&buf[start..]);
+    buf.put_u64_le(sum);
 }
 
 /// Serialize a trace to bytes.
@@ -199,7 +251,12 @@ pub fn encode(trace: &Trace) -> Bytes {
 }
 
 /// Deserialize a trace from bytes.
+///
+/// Current images (v2) are checksum-verified before any structural
+/// parsing; legacy v1 images (pre-checksum) take an explicit fallback
+/// path. Any other version is a typed [`WireError::VersionMismatch`].
 pub fn decode(mut buf: Bytes) -> Result<Trace, WireError> {
+    let full = buf.clone();
     if buf.remaining() < MAGIC.len() + 8 {
         return Err(WireError::Truncated);
     }
@@ -209,8 +266,23 @@ pub fn decode(mut buf: Bytes) -> Result<Trace, WireError> {
         return Err(WireError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(WireError::BadVersion(version));
+    match version {
+        VERSION => {
+            // Verify the trailing image checksum over everything that
+            // precedes it before trusting any declared length.
+            let body_len = full.len() - CHECKSUM_BYTES;
+            let expect = u64::from_le_bytes(full[body_len..].try_into().unwrap());
+            if fnv1a64(&full[..body_len]) != expect {
+                return Err(WireError::ChecksumMismatch);
+            }
+        }
+        LEGACY_VERSION => {} // pre-checksum fallback: structure checks only
+        found => {
+            return Err(WireError::VersionMismatch {
+                found,
+                supported: VERSION,
+            })
+        }
     }
     let ncpus = buf.get_u32_le() as usize;
     // Validate declared lengths against the actual payload before any
@@ -319,7 +391,10 @@ mod tests {
         let trace = sample_trace();
         let bytes = encode(&trace);
         let header = MAGIC.len() + 4 + 4 + trace.lost.len() * 8 + 8;
-        assert_eq!(bytes.len(), header + trace.events.len() * RECORD_BYTES);
+        assert_eq!(
+            bytes.len(),
+            header + trace.events.len() * RECORD_BYTES + CHECKSUM_BYTES
+        );
     }
 
     #[test]
@@ -331,13 +406,42 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn future_version_rejected_typed() {
         let trace = sample_trace();
         let mut bytes = encode(&trace).to_vec();
         bytes[8] = 99;
         assert_eq!(
             decode(Bytes::from(bytes)).unwrap_err(),
-            WireError::BadVersion(99)
+            WireError::VersionMismatch {
+                found: 99,
+                supported: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_v1_decodes_via_fallback() {
+        // A v1 image is exactly a v2 image with the version field
+        // rewritten and the trailing checksum stripped.
+        let trace = sample_trace();
+        let mut bytes = encode(&trace).to_vec();
+        bytes[8] = LEGACY_VERSION as u8;
+        bytes.truncate(bytes.len() - CHECKSUM_BYTES);
+        let back = decode(Bytes::from(bytes)).unwrap();
+        assert_eq!(back.lost, trace.lost);
+        assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption() {
+        let trace = sample_trace();
+        let mut bytes = encode(&trace).to_vec();
+        // Flip one bit inside the first record's timestamp.
+        let rec0 = MAGIC.len() + 4 + 4 + trace.lost.len() * 8 + 8;
+        bytes[rec0] ^= 0x40;
+        assert_eq!(
+            decode(Bytes::from(bytes)).unwrap_err(),
+            WireError::ChecksumMismatch
         );
     }
 
@@ -345,7 +449,10 @@ mod tests {
     fn truncated_rejected() {
         let trace = sample_trace();
         let bytes = encode(&trace);
-        for cut in [3, 12, bytes.len() - 1] {
+        // Cuts inside the header are structural truncation; a cut in
+        // the body of a v2 image surfaces as a checksum failure (the
+        // trailing 8 bytes are no longer the image checksum).
+        for cut in [3, 12] {
             let sliced = bytes.slice(0..cut);
             assert_eq!(
                 decode(sliced).unwrap_err(),
@@ -353,6 +460,8 @@ mod tests {
                 "cut={cut}"
             );
         }
+        let sliced = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(decode(sliced).unwrap_err(), WireError::ChecksumMismatch);
     }
 
     #[test]
@@ -388,6 +497,14 @@ mod tests {
         let trace = Trace::from_raw_parts(events, vec![0]);
         let back = decode(encode(&trace)).unwrap();
         assert_eq!(back.events, trace.events);
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 }
 

@@ -2,11 +2,13 @@
 # Smoke check for the simulator's performance trajectory: build, run
 # the test suite, then short benchmark runs that regenerate
 # BENCH_PR1.json (per-app events/sec heap vs wheel, plus the
-# queue-depth sweep) and BENCH_PR3.json (sharded/fused analysis engine
+# queue-depth sweep), BENCH_PR3.json (sharded/fused analysis engine
 # vs the sequential reference, campaign + rank sweep — every timed rep
-# also differentially checks the reports are bit-identical). Intended
-# for CI and for a quick local sanity run after touching the engine or
-# analysis hot paths.
+# also differentially checks the reports are bit-identical), and
+# BENCH_PR4.json (chunked on-disk store: write MB/s, codec ratio, and
+# out-of-core streamed analysis vs in-memory, differentially checked
+# per rep). Intended for CI and for a quick local sanity run after
+# touching the engine or analysis hot paths.
 #
 # Knobs are forwarded to both binaries: OSN_SECS (default 5 here —
 # short but long enough that per-run timing is meaningful), OSN_REPS.
@@ -22,4 +24,7 @@ OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
 OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
     cargo run --release -p osn-bench --bin analysis_throughput
 
-echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json)"
+OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
+    cargo run --release -p osn-bench --bin store_throughput
+
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json)"

@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 FIRST_PARTY=(
     -p osn-kernel
     -p osn-trace
+    -p osn-store
     -p osn-analysis
     -p osn-workloads
     -p osn-core

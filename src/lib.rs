@@ -14,6 +14,8 @@
 //! * [`analysis`] — nesting-aware reconstruction, runnable-only noise
 //!   accounting, per-event statistics, histograms, breakdowns,
 //!   synthetic noise charts, disambiguation.
+//! * [`store`] — chunked on-disk trace store: spill-to-disk recording,
+//!   footer-indexed chunk files, out-of-core streamed analysis.
 //! * [`paraver`] — Paraver `.prv`/`.pcf`/`.row` and CSV exports.
 //! * [`ftq`] — the FTQ microbenchmark (simulated and native).
 //! * [`workloads`] — LLNL Sequoia behavioural models.
@@ -37,5 +39,6 @@ pub use osn_core as core;
 pub use osn_ftq as ftq;
 pub use osn_kernel as kernel;
 pub use osn_paraver as paraver;
+pub use osn_store as store;
 pub use osn_trace as trace;
 pub use osn_workloads as workloads;
