@@ -1,0 +1,634 @@
+//! Mechanistic bulk-synchronous collective coupling.
+//!
+//! The paper's scale argument (and the amplification model of
+//! Ferreira, Bridges & Brightwell, SC'08) is that a collective
+//! operation runs at the pace of its *slowest* member: per-node noise
+//! that is small in isolation is paid by every rank once any rank
+//! absorbs it inside a compute window. [`ScaleModel`] in `osn-core`
+//! estimates that effect analytically by resampling an empirical
+//! window distribution; this module instead *runs* the bulk-synchronous
+//! program against the measured noise charts of N independent nodes:
+//!
+//! * each phase, every rank needs `granularity` of compute;
+//! * the rank's elapsed time is the fixed point `e = g + W(t, t+e)`,
+//!   where `W` is the noise its own node's chart drops into the
+//!   *elongated* window (noise landing in the overrun delays the rank
+//!   further — a second-order effect the analytic model ignores);
+//! * the barrier releases at the max arrival over ranks, and the next
+//!   phase starts there for everyone — so skew is carried across
+//!   phases: window positions are history-dependent, not a fixed
+//!   `g`-aligned grid;
+//! * noise landing while a rank *waits* at the barrier is absorbed for
+//!   free (the rank has no work to lose), exactly the slack-absorption
+//!   property of real barriers.
+//!
+//! The per-phase record keeps the critical rank and the noise-category
+//! decomposition of what it paid, so a campaign can report *which noise
+//! class paid for the barrier* at every scale.
+//!
+//! [`ScaleModel`]: https://docs.rs/osn-core
+
+use osn_kernel::activity::NoiseCategory;
+use osn_kernel::time::Nanos;
+
+use serde::{Deserialize, Serialize};
+
+use crate::chart::NoiseChart;
+
+/// One rank's noise input to the coupled run: its node's synthetic
+/// noise chart and the time up to which that chart is valid.
+#[derive(Clone, Debug)]
+pub struct RankSeries {
+    pub chart: NoiseChart,
+    /// Trace horizon: phases are only simulated while every rank's
+    /// window fits inside its own horizon.
+    pub horizon: Nanos,
+    /// Where in this rank's trace the BSP program starts. Nodes of a
+    /// real cluster boot at arbitrary points of their periodic-noise
+    /// cycles; staggering start offsets decorrelates tick phases
+    /// across ranks (offset 0 on every rank reproduces the perfectly
+    /// co-scheduled cluster, where periodic noise does not amplify).
+    pub start: Nanos,
+}
+
+impl RankSeries {
+    pub fn new(chart: NoiseChart, horizon: Nanos) -> RankSeries {
+        RankSeries {
+            chart,
+            horizon,
+            start: Nanos::ZERO,
+        }
+    }
+
+    pub fn with_start(mut self, start: Nanos) -> RankSeries {
+        self.start = start;
+        self
+    }
+}
+
+/// Parameters of the bulk-synchronous program.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BspParams {
+    /// Compute granularity between barriers.
+    pub granularity: Nanos,
+    /// Cap on simulated phases (0 = as many as the traces allow).
+    pub max_phases: usize,
+    /// Full barrier dynamics (the default): skew carried across
+    /// phases, overrun elongation, and slack absorption of noise that
+    /// lands while a rank waits. When `false`, every rank's windows
+    /// sit on the fixed `granularity`-aligned grid with none of those
+    /// effects — exactly the sampling assumptions of the analytic
+    /// `ScaleModel`, which makes the grid mode the differential
+    /// counterpart of `expected_max_noise` on the same windows.
+    pub mechanistic: bool,
+}
+
+impl BspParams {
+    pub fn new(granularity: Nanos) -> BspParams {
+        BspParams {
+            granularity,
+            max_phases: 0,
+            mechanistic: true,
+        }
+    }
+
+    /// The analytic-equivalent fixed-grid variant of these params.
+    pub fn fixed_grid(mut self) -> BspParams {
+        self.mechanistic = false;
+        self
+    }
+}
+
+/// One barrier-to-barrier phase of the coupled run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PhaseOutcome {
+    /// Barrier-release time the phase started at (common to all ranks).
+    pub start: Nanos,
+    /// Per-rank elapsed time `g + self noise` (index = rank).
+    pub durations: Vec<Nanos>,
+    /// The slowest rank — the one the barrier waited for (lowest index
+    /// on ties).
+    pub critical: usize,
+    /// Noise-category decomposition of the critical rank's window
+    /// noise, canonical category order, zero entries kept.
+    pub critical_by_category: Vec<(NoiseCategory, Nanos)>,
+}
+
+impl PhaseOutcome {
+    /// The noise the whole collective paid this phase.
+    pub fn critical_noise(&self, granularity: Nanos) -> Nanos {
+        self.durations[self.critical].saturating_sub(granularity)
+    }
+}
+
+/// The complete coupled run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveRun {
+    pub granularity: Nanos,
+    pub nranks: usize,
+    pub phases: Vec<PhaseOutcome>,
+    /// Final barrier time.
+    pub end: Nanos,
+}
+
+/// Walk one rank's chart points inside `[t, t+e)` starting from
+/// `cursor`, returning the summed noise and the new cursor. Noise is
+/// attributed to the window containing the interruption start — the
+/// same attribution [`NoiseChart::bucket`] uses, so the mechanistic
+/// and analytic models agree on what a window contains.
+fn window_noise(series: &RankSeries, cursor: usize, t: Nanos, e: Nanos) -> (Nanos, usize) {
+    let mut w = Nanos::ZERO;
+    let mut i = cursor;
+    let end = t + e;
+    while i < series.chart.points.len() && series.chart.points[i].t < end {
+        w += series.chart.points[i].noise;
+        i += 1;
+    }
+    (w, i)
+}
+
+/// Solve the fixed point `e = g + W(t, t+e)` for one rank: noise
+/// landing inside the overrun extends the window until no further
+/// points fall in. Converges because `W` is a finite step function.
+fn solve_phase(series: &RankSeries, cursor: usize, t: Nanos, g: Nanos) -> (Nanos, usize) {
+    let (mut w, mut i) = window_noise(series, cursor, t, g);
+    let mut e = g + w;
+    loop {
+        let (extra, j) = window_noise(series, i, t, e);
+        if extra.is_zero() {
+            return (e, j);
+        }
+        w += extra;
+        i = j;
+        e = g + w;
+    }
+}
+
+/// Decompose the noise of `[t, t+e)` by category (critical-rank
+/// attribution). Canonical category order; zero entries kept so the
+/// output shape is scale-independent.
+fn window_categories(
+    series: &RankSeries,
+    cursor: usize,
+    t: Nanos,
+    e: Nanos,
+) -> Vec<(NoiseCategory, Nanos)> {
+    let mut totals: Vec<(NoiseCategory, Nanos)> = NoiseCategory::NOISE
+        .iter()
+        .map(|c| (*c, Nanos::ZERO))
+        .collect();
+    let end = t + e;
+    for p in &series.chart.points[cursor..] {
+        if p.t >= end {
+            break;
+        }
+        for (component, d) in &p.components {
+            if let Some(cat) = component.category() {
+                if let Some(slot) = totals.iter_mut().find(|(c, _)| *c == cat) {
+                    slot.1 += *d;
+                }
+            }
+        }
+    }
+    totals
+}
+
+/// Run the bulk-synchronous collective against the ranks' measured
+/// noise charts. All ranks share one wall clock; each phase ends at the
+/// max arrival; chart points overtaken while a rank waits at the
+/// barrier are skipped (absorbed in slack).
+pub fn couple(ranks: &[RankSeries], params: &BspParams) -> CollectiveRun {
+    let g = params.granularity;
+    assert!(!g.is_zero(), "zero granularity");
+    // Start each cursor at the first point past the rank's offset.
+    let mut cursors: Vec<usize> = ranks
+        .iter()
+        .map(|s| s.chart.points.partition_point(|p| p.t < s.start))
+        .collect();
+    let mut phases = Vec::new();
+    // Phase-start position in each rank's trace (mechanistic: the
+    // shared barrier-release time; grid: `p * g`).
+    let mut t = Nanos::ZERO;
+    // Accumulated collective runtime (== `t` in mechanistic mode).
+    let mut end = Nanos::ZERO;
+    if !ranks.is_empty() {
+        loop {
+            if params.max_phases > 0 && phases.len() >= params.max_phases {
+                break;
+            }
+            let mut durations = Vec::with_capacity(ranks.len());
+            let mut next_cursors = Vec::with_capacity(ranks.len());
+            let mut fits = true;
+            for (r, series) in ranks.iter().enumerate() {
+                let pos = series.start + t;
+                let (e, cursor) = if params.mechanistic {
+                    solve_phase(series, cursors[r], pos, g)
+                } else {
+                    let (w, cursor) = window_noise(series, cursors[r], pos, g);
+                    (g + w, cursor)
+                };
+                // Mechanistic windows must fit below the horizon as
+                // elongated; grid windows as sampled.
+                let need = if params.mechanistic { e } else { g };
+                if pos + need > series.horizon {
+                    fits = false;
+                    break;
+                }
+                durations.push(e);
+                next_cursors.push(cursor);
+            }
+            if !fits {
+                break;
+            }
+            // Slowest rank; first index wins ties (deterministic).
+            let critical = durations
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, d)| (**d, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("non-empty ranks");
+            let critical_by_category = window_categories(
+                &ranks[critical],
+                cursors[critical],
+                ranks[critical].start + t,
+                durations[critical],
+            );
+            end += durations[critical];
+            if params.mechanistic {
+                let barrier = t + durations[critical];
+                // Advance every cursor past the barrier: points in a
+                // rank's wait window [arrival, barrier) are absorbed.
+                for (r, series) in ranks.iter().enumerate() {
+                    let (_, cursor) =
+                        window_noise(series, next_cursors[r], series.start + t, barrier - t);
+                    cursors[r] = cursor;
+                }
+                phases.push(PhaseOutcome {
+                    start: t,
+                    durations,
+                    critical,
+                    critical_by_category,
+                });
+                t = barrier;
+            } else {
+                cursors.copy_from_slice(&next_cursors);
+                phases.push(PhaseOutcome {
+                    start: t,
+                    durations,
+                    critical,
+                    critical_by_category,
+                });
+                t += g;
+            }
+        }
+    }
+    CollectiveRun {
+        granularity: g,
+        nranks: ranks.len(),
+        phases,
+        end,
+    }
+}
+
+/// Per-rank accounting over the whole coupled run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Useful compute: `phases * granularity`.
+    pub compute: Nanos,
+    /// Noise this rank absorbed inside its own compute windows.
+    pub self_noise: Nanos,
+    /// Time spent waiting at barriers for slower ranks.
+    pub wait: Nanos,
+    /// Phases where this rank was the one the barrier waited for.
+    pub critical_phases: usize,
+}
+
+/// Aggregated view of a [`CollectiveRun`]: the per-rank/per-phase
+/// slowdown breakdown and which noise class paid for the barrier.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveBreakdown {
+    pub granularity: Nanos,
+    pub nranks: usize,
+    pub nphases: usize,
+    /// `nphases * granularity`: the noise-free runtime.
+    pub ideal: Nanos,
+    /// Actual final barrier time.
+    pub elapsed: Nanos,
+    /// `elapsed / ideal`.
+    pub slowdown: f64,
+    /// `ideal / elapsed`.
+    pub efficiency: f64,
+    /// Mean over phases of the critical rank's window noise — the
+    /// mechanistic counterpart of the analytic `E[max_N W]`.
+    pub mean_max_noise: Nanos,
+    pub ranks: Vec<RankStats>,
+    /// Total barrier-paid noise by category (critical-path
+    /// attribution), canonical order.
+    pub barrier_paid: Vec<(NoiseCategory, Nanos)>,
+}
+
+impl CollectiveBreakdown {
+    pub fn build(run: &CollectiveRun) -> CollectiveBreakdown {
+        let g = run.granularity;
+        let nphases = run.phases.len();
+        let ideal = g * nphases as u64;
+        let elapsed = run.end;
+        let mut ranks: Vec<RankStats> = (0..run.nranks)
+            .map(|rank| RankStats {
+                rank,
+                compute: ideal,
+                self_noise: Nanos::ZERO,
+                wait: Nanos::ZERO,
+                critical_phases: 0,
+            })
+            .collect();
+        let mut barrier_paid: Vec<(NoiseCategory, Nanos)> = NoiseCategory::NOISE
+            .iter()
+            .map(|c| (*c, Nanos::ZERO))
+            .collect();
+        let mut total_max_noise = Nanos::ZERO;
+        for phase in &run.phases {
+            let barrier = phase.durations[phase.critical];
+            total_max_noise += barrier - g;
+            ranks[phase.critical].critical_phases += 1;
+            for (r, d) in phase.durations.iter().enumerate() {
+                ranks[r].self_noise += *d - g;
+                ranks[r].wait += barrier - *d;
+            }
+            for (cat, d) in &phase.critical_by_category {
+                if let Some(slot) = barrier_paid.iter_mut().find(|(c, _)| c == cat) {
+                    slot.1 += *d;
+                }
+            }
+        }
+        let (slowdown, efficiency) = if ideal.is_zero() {
+            (1.0, 1.0)
+        } else {
+            (
+                elapsed.as_nanos() as f64 / ideal.as_nanos() as f64,
+                ideal.as_nanos() as f64 / elapsed.as_nanos() as f64,
+            )
+        };
+        CollectiveBreakdown {
+            granularity: g,
+            nranks: run.nranks,
+            nphases,
+            ideal,
+            elapsed,
+            slowdown,
+            efficiency,
+            mean_max_noise: if nphases == 0 {
+                Nanos::ZERO
+            } else {
+                total_max_noise / nphases as u64
+            },
+            ranks,
+            barrier_paid,
+        }
+    }
+
+    /// The category that paid the most barrier time, if any noise was
+    /// paid at all.
+    pub fn dominant(&self) -> Option<NoiseCategory> {
+        self.barrier_paid
+            .iter()
+            .max_by_key(|(_, d)| *d)
+            .filter(|(_, d)| !d.is_zero())
+            .map(|(c, _)| *c)
+    }
+
+    /// Total noise the barrier paid (critical-path attribution). This
+    /// can differ slightly from `mean_max_noise * nphases` only by
+    /// integer division in the mean.
+    pub fn total_barrier_noise(&self) -> Nanos {
+        self.barrier_paid.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::ChartPoint;
+    use crate::noise::Component;
+    use osn_kernel::activity::{Activity, FaultKind, SoftirqVec};
+    use osn_kernel::ids::Tid;
+
+    fn point(t: u64, noise: u64, activity: Activity) -> ChartPoint {
+        ChartPoint {
+            t: Nanos(t),
+            noise: Nanos(noise),
+            duration: Nanos(noise),
+            components: vec![(Component::Activity(activity), Nanos(noise))],
+        }
+    }
+
+    fn series(points: Vec<ChartPoint>, horizon: u64) -> RankSeries {
+        RankSeries::new(
+            NoiseChart {
+                task: Tid(1),
+                points,
+            },
+            Nanos(horizon),
+        )
+    }
+
+    fn params(g: u64) -> BspParams {
+        BspParams::new(Nanos(g))
+    }
+
+    #[test]
+    fn noise_free_ranks_run_at_ideal_speed() {
+        let ranks = vec![series(vec![], 10_000), series(vec![], 10_000)];
+        let run = couple(&ranks, &params(1_000));
+        assert_eq!(run.phases.len(), 10);
+        assert_eq!(run.end, Nanos(10_000));
+        let b = CollectiveBreakdown::build(&run);
+        assert_eq!(b.slowdown, 1.0);
+        assert_eq!(b.mean_max_noise, Nanos::ZERO);
+        assert!(b.dominant().is_none());
+    }
+
+    #[test]
+    fn barrier_pays_the_slowest_rank() {
+        // Rank 1 takes a 300 ns hit in phase 0; rank 0 is clean.
+        let ranks = vec![
+            series(vec![], 10_000),
+            series(vec![point(500, 300, Activity::TimerInterrupt)], 10_000),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        let p0 = &run.phases[0];
+        assert_eq!(p0.durations, vec![Nanos(1_000), Nanos(1_300)]);
+        assert_eq!(p0.critical, 1);
+        // Phase 1 starts at the barrier, not at rank 0's arrival.
+        assert_eq!(run.phases[1].start, Nanos(1_300));
+        let b = CollectiveBreakdown::build(&run);
+        assert_eq!(b.ranks[0].wait, Nanos(300));
+        assert_eq!(b.ranks[1].self_noise, Nanos(300));
+        assert_eq!(b.dominant(), Some(NoiseCategory::Periodic));
+        assert_eq!(b.total_barrier_noise(), Nanos(300));
+    }
+
+    #[test]
+    fn noise_in_the_overrun_extends_the_window() {
+        // A hit at t=900 pushes arrival past 1000; a second hit at
+        // t=1100 lands inside the overrun and must also be paid.
+        let ranks = vec![series(
+            vec![
+                point(900, 200, Activity::TimerInterrupt),
+                point(1_100, 400, Activity::PageFault(FaultKind::AnonZero)),
+            ],
+            10_000,
+        )];
+        let run = couple(&ranks, &params(1_000));
+        assert_eq!(run.phases[0].durations[0], Nanos(1_600));
+    }
+
+    #[test]
+    fn noise_during_barrier_wait_is_absorbed() {
+        // Rank 0 waits 500 ns at the first barrier; a hit landing in
+        // its wait window must not charge phase 1.
+        let ranks = vec![
+            series(vec![point(1_200, 100, Activity::TimerInterrupt)], 10_000),
+            series(vec![point(100, 500, Activity::TimerInterrupt)], 10_000),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        // Rank 0 arrives at 1000, barrier at 1500; its t=1200 hit is in
+        // the wait window — absorbed.
+        assert_eq!(run.phases[0].durations[0], Nanos(1_000));
+        assert_eq!(run.phases[1].durations[0], Nanos(1_000));
+    }
+
+    #[test]
+    fn accounting_identity_per_rank() {
+        // compute + self_noise + wait == elapsed, for every rank.
+        let ranks = vec![
+            series(
+                vec![
+                    point(500, 70, Activity::TimerInterrupt),
+                    point(2_700, 900, Activity::PageFault(FaultKind::AnonZero)),
+                ],
+                20_000,
+            ),
+            series(
+                vec![point(1_400, 650, Activity::Softirq(SoftirqVec::NetRx))],
+                20_000,
+            ),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        let b = CollectiveBreakdown::build(&run);
+        for r in &b.ranks {
+            assert_eq!(
+                r.compute + r.self_noise + r.wait,
+                b.elapsed,
+                "rank {}",
+                r.rank
+            );
+        }
+        let criticals: usize = b.ranks.iter().map(|r| r.critical_phases).sum();
+        assert_eq!(criticals, b.nphases);
+    }
+
+    #[test]
+    fn phases_stop_at_the_shortest_horizon() {
+        let ranks = vec![series(vec![], 10_000), series(vec![], 3_500)];
+        let run = couple(&ranks, &params(1_000));
+        assert_eq!(run.phases.len(), 3);
+    }
+
+    #[test]
+    fn max_phases_caps_the_run() {
+        let ranks = vec![series(vec![], 100_000)];
+        let run = couple(
+            &ranks,
+            &BspParams {
+                max_phases: 7,
+                ..BspParams::new(Nanos(1_000))
+            },
+        );
+        assert_eq!(run.phases.len(), 7);
+    }
+
+    #[test]
+    fn fixed_grid_mode_matches_bucketed_windows() {
+        // Grid mode: windows at [0,1000), [1000,2000), ... with no
+        // skew, no elongation, no absorption.
+        let ranks = vec![
+            series(
+                vec![
+                    point(200, 500, Activity::TimerInterrupt),
+                    point(2_100, 80, Activity::TimerInterrupt),
+                ],
+                10_000,
+            ),
+            series(
+                vec![point(1_400, 650, Activity::Softirq(SoftirqVec::NetRx))],
+                10_000,
+            ),
+        ];
+        let run = couple(&ranks, &params(1_000).fixed_grid());
+        assert_eq!(run.phases.len(), 10);
+        // Phase 0: rank 0 pays 500, rank 1 clean -> max 500.
+        assert_eq!(run.phases[0].durations, vec![Nanos(1_500), Nanos(1_000)]);
+        // Phase 1: rank 1 pays 650 (its t=1400 point).
+        assert_eq!(run.phases[1].durations, vec![Nanos(1_000), Nanos(1_650)]);
+        // Phase 2: rank 0's t=2100 point lands on the fixed grid here
+        // (the mechanistic run catches it in phase 1 — that shift IS
+        // the skew).
+        assert_eq!(run.phases[2].durations[0], Nanos(1_080));
+        // end == sum of per-phase maxima.
+        let total: Nanos = run.phases.iter().map(|p| p.durations[p.critical]).sum();
+        assert_eq!(run.end, total);
+    }
+
+    #[test]
+    fn start_offset_shifts_the_trace_window() {
+        // With start = 2000 the program begins deep in the trace: the
+        // early points are skipped entirely and the horizon budget
+        // shrinks by the offset.
+        let ranks = vec![series(
+            vec![
+                point(500, 999, Activity::TimerInterrupt),
+                point(2_300, 120, Activity::TimerInterrupt),
+            ],
+            6_000,
+        )
+        .with_start(Nanos(2_000))];
+        let run = couple(&ranks, &params(1_000));
+        // Phase 0 covers trace [2000, 3120): pays the t=2300 point
+        // only; the t=500 point predates the start.
+        assert_eq!(run.phases[0].durations[0], Nanos(1_120));
+        // Horizon 6000 minus the 2000 offset leaves room for windows
+        // at trace positions 2000..3120, 3120..4120, 4120..5120; a
+        // fourth (5120..6120) would cross the horizon.
+        assert_eq!(run.phases.len(), 3);
+        // Offset zero on the same series pays the big early point.
+        let aligned = vec![series(
+            vec![
+                point(500, 999, Activity::TimerInterrupt),
+                point(2_300, 120, Activity::TimerInterrupt),
+            ],
+            6_000,
+        )];
+        let run0 = couple(&aligned, &params(1_000));
+        assert_eq!(run0.phases[0].durations[0], Nanos(1_999));
+    }
+
+    #[test]
+    fn skew_is_carried_across_phases() {
+        // One early hit shifts every later window: a hit at t=2100
+        // would be in phase 2 on the ideal grid, but the phase-0 delay
+        // of 500 ns shifts phase 1 to [1500, 2500) and catches it.
+        let ranks = vec![series(
+            vec![
+                point(200, 500, Activity::TimerInterrupt),
+                point(2_100, 80, Activity::TimerInterrupt),
+            ],
+            10_000,
+        )];
+        let run = couple(&ranks, &params(1_000));
+        assert_eq!(run.phases[0].durations[0], Nanos(1_500));
+        assert_eq!(run.phases[1].start, Nanos(1_500));
+        assert_eq!(run.phases[1].durations[0], Nanos(1_080));
+    }
+}

@@ -12,6 +12,7 @@
 
 pub mod breakdown;
 pub mod chart;
+pub mod collective;
 pub mod disambiguate;
 pub mod filter;
 pub mod histogram;
@@ -25,6 +26,9 @@ pub mod timeline;
 
 pub use breakdown::Breakdown;
 pub use chart::{ChartPoint, NoiseChart};
+pub use collective::{
+    couple, BspParams, CollectiveBreakdown, CollectiveRun, PhaseOutcome, RankSeries, RankStats,
+};
 pub use histogram::Histogram;
 pub use nesting::{ActivityInstance, NestingReport};
 pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};

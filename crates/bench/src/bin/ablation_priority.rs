@@ -1,4 +1,4 @@
-//! Ablation (Jones et al. SC'03 / HPL, the paper's refs [23][24]):
+//! Ablation (Jones et al. SC'03 / HPL, the paper's refs \[23\]\[24\]):
 //! "prioritizing HPC processes over user and kernel daemons" — run
 //! LAMMPS at normal priority vs elevated priority and compare the
 //! preemption noise the ranks experience.

@@ -1,0 +1,178 @@
+//! Bench regression gate: compare a fresh bench run against the
+//! committed `BENCH_PR*.json` baselines and fail on aggregate
+//! regression.
+//!
+//! ```text
+//! bench_gate <baseline_dir> <fresh_dir> [--threshold 0.85] [--metric-floor 0.70]
+//! ```
+//!
+//! Every `BENCH_PR*.json` in the baseline dir must exist in the fresh
+//! dir. For each file the top-level `aggregate_*` metrics are scored
+//! `fresh/baseline` (or inverted for lower-is-better metrics); the
+//! gate passes when the geometric mean over all metrics stays at or
+//! above the threshold (default 0.85, i.e. at most a 15% aggregate
+//! regression) AND no single metric falls below the per-metric floor
+//! (default 0.70 — a collapse in one metric cannot hide behind five
+//! healthy ones). Exit code 0 = pass, 1 = regression or missing data.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Metrics where smaller numbers are better. Everything else
+/// (speedups, MB/s, ratios-vs-raw, nodes/s) is higher-is-better.
+const LOWER_IS_BETTER: &[&str] = &["aggregate_streamed_over_in_memory"];
+
+/// Pull the top-level `"aggregate_*": <number>` pairs out of a bench
+/// JSON without a full parser (the vendored serde shim exposes no
+/// generic `Value`). Nested keys never start with `aggregate`, so a
+/// plain scan is exact here.
+fn aggregates(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while let Some(pos) = text[i..].find("\"aggregate") {
+        let start = i + pos + 1;
+        let Some(len) = text[start..].find('"') else {
+            break;
+        };
+        let key = text[start..start + len].to_string();
+        let mut j = start + len + 1;
+        while j < bytes.len() && (bytes[j] == b':' || bytes[j].is_ascii_whitespace()) {
+            j += 1;
+        }
+        let num_start = j;
+        while j < bytes.len()
+            && (bytes[j].is_ascii_digit() || matches!(bytes[j], b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
+            j += 1;
+        }
+        if let Ok(v) = text[num_start..j].parse::<f64>() {
+            out.push((key, v));
+        }
+        i = j.max(start + len + 1);
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 0.85f64;
+    let mut metric_floor = 0.70f64;
+    let mut dirs = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--threshold" {
+            threshold = iter
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(threshold);
+        } else if a == "--metric-floor" {
+            metric_floor = iter
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(metric_floor);
+        } else {
+            dirs.push(a.clone());
+        }
+    }
+    let [baseline_dir, fresh_dir] = dirs.as_slice() else {
+        eprintln!(
+            "usage: bench_gate <baseline_dir> <fresh_dir> [--threshold 0.85] [--metric-floor 0.70]"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let mut files: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_PR") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {baseline_dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no BENCH_PR*.json baselines in {baseline_dir}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut log_sum = 0.0f64;
+    let mut nmetrics = 0usize;
+    let mut failed = false;
+    for file in &files {
+        let base_text = match std::fs::read_to_string(Path::new(baseline_dir).join(file)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: cannot read baseline: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let fresh_path = Path::new(fresh_dir).join(file);
+        let fresh_text = match std::fs::read_to_string(&fresh_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: fresh run missing ({}): {e}", fresh_path.display());
+                failed = true;
+                continue;
+            }
+        };
+        let fresh = aggregates(&fresh_text);
+        for (key, base) in aggregates(&base_text) {
+            let Some((_, new)) = fresh.iter().find(|(k, _)| *k == key) else {
+                eprintln!("{file}: fresh run lost metric {key}");
+                failed = true;
+                continue;
+            };
+            if base <= 0.0 || *new <= 0.0 {
+                eprintln!("{file}: non-positive {key} ({base} -> {new})");
+                failed = true;
+                continue;
+            }
+            let score = if LOWER_IS_BETTER.contains(&key.as_str()) {
+                base / new
+            } else {
+                new / base
+            };
+            println!(
+                "{file:<16} {key:<36} {base:>12.3} -> {new:>12.3}  score {score:>6.3}{}",
+                if LOWER_IS_BETTER.contains(&key.as_str()) {
+                    "  (lower is better)"
+                } else {
+                    ""
+                }
+            );
+            if score < metric_floor {
+                eprintln!(
+                    "{file}: {key} regressed to {score:.3} of baseline (floor {metric_floor:.2})"
+                );
+                failed = true;
+            }
+            log_sum += score.ln();
+            nmetrics += 1;
+        }
+    }
+    if nmetrics == 0 {
+        eprintln!("no comparable metrics found");
+        return ExitCode::FAILURE;
+    }
+    let geo_mean = (log_sum / nmetrics as f64).exp();
+    println!("geometric mean over {nmetrics} metrics: {geo_mean:.3} (threshold {threshold:.2})");
+    if failed {
+        eprintln!("FAIL: missing data or a metric below the floor");
+        return ExitCode::FAILURE;
+    }
+    if geo_mean < threshold {
+        eprintln!(
+            "FAIL: aggregate bench regression {:.1}% (> {:.0}% allowed)",
+            (1.0 - geo_mean) * 100.0,
+            (1.0 - threshold) * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("PASS");
+    ExitCode::SUCCESS
+}

@@ -10,6 +10,7 @@
 //! osnoise record <app> <out.osn> [--secs N]              trace to a chunked store file (streaming)
 //! osnoise analyze <in.osn>                               out-of-core report from a store file
 //! osnoise info <in.osn>                                  store file layout and contents
+//! osnoise cluster <app> [--nodes N] [--secs N]           mechanistic multi-node BSP campaign
 //! ```
 
 use std::collections::HashMap;
@@ -24,7 +25,10 @@ use osn_core::kernel::time::Nanos;
 use osn_core::paraver;
 use osn_core::trace::overhead::{measure_overhead_avg, LTTNG_CLASS_OVERHEAD};
 use osn_core::workloads::App;
-use osn_core::{fig10_pairs, run_app, ExperimentConfig, PaperReport};
+use osn_core::{
+    fig10_pairs, run_app, run_cluster, run_cluster_stored, ClusterConfig, ExperimentConfig,
+    PaperReport,
+};
 
 struct Args {
     positional: Vec<String>,
@@ -84,6 +88,7 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("info") => cmd_info(&args),
+        Some("cluster") => cmd_cluster(&args),
         _ => {
             eprintln!("{}", HELP);
             ExitCode::FAILURE
@@ -104,7 +109,10 @@ USAGE:
   osnoise disambiguate <app> [--tolerance NS] [--secs N]
   osnoise overhead [--secs N]
   osnoise scale <app> [--granularity-us G] [--secs N]
-  osnoise signature <app> [--against SEED] [--secs N]";
+  osnoise signature <app> [--against SEED] [--secs N]
+  osnoise cluster <app> [--nodes N] [--secs N] [--seed S] [--granularity-us G]
+                  [--cpus C] [--workers W] [--max-phases P] [--stagger on|off]
+                  [--json FILE] [--store DIR]";
 
 fn cmd_campaign(args: &Args) -> ExitCode {
     let mut config = CampaignConfig::paper(args.secs());
@@ -550,6 +558,73 @@ fn cmd_info(args: &Args) -> ExitCode {
                 ", footer missing"
             },
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cluster(args: &Args) -> ExitCode {
+    let Some(app) = args.positional.get(1).and_then(|n| parse_app(n)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let nodes = args
+        .flags
+        .get("nodes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8usize)
+        .max(1);
+    let mut config = ClusterConfig::new(app, nodes, args.secs());
+    config.seed = args.seed();
+    config.granularity = Nanos::from_micros(
+        args.flags
+            .get("granularity-us")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1_000),
+    );
+    if let Some(cpus) = args.flags.get("cpus").and_then(|s| s.parse().ok()) {
+        config.cpus = Some(cpus);
+    }
+    if let Some(workers) = args.flags.get("workers").and_then(|s| s.parse().ok()) {
+        config.workers = Some(workers);
+    }
+    if let Some(phases) = args.flags.get("max-phases").and_then(|s| s.parse().ok()) {
+        config.max_phases = phases;
+    }
+    if args.flags.get("stagger").is_some_and(|s| s == "off") {
+        config.stagger = false;
+    }
+    let report = if let Some(dir) = args.flags.get("store") {
+        let dir = std::path::Path::new(dir);
+        match run_cluster_stored(&config, dir, store_options(args)) {
+            Ok((report, paths)) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("cannot run stored cluster in {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_cluster(&config).report
+    };
+    print!("{}", report.render());
+    if let Some(path) = args.flags.get("json") {
+        match serde_json::to_vec_pretty(&report) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(path, bytes) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("report written to {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,145 @@
+//! End-to-end smoke tests: drive the real `osnoise` binary through the
+//! record / analyze / info / campaign / cluster flows on a tiny config
+//! in a tempdir, asserting on exit status and a few load-bearing lines
+//! of output.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn osnoise(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_osnoise"))
+        .args(args)
+        .output()
+        .expect("spawn osnoise")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osn-cli-smoke-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_help_and_fails() {
+    let out = osnoise(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_app_fails() {
+    let out = osnoise(&["app", "nonesuch", "--secs", "1"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn record_analyze_info_roundtrip() {
+    let dir = tmpdir("record");
+    let store = dir.join("sphot.osn");
+    let store_str = store.to_str().unwrap();
+
+    let out = osnoise(&["record", "sphot", store_str, "--secs", "1", "--seed", "5"]);
+    assert!(out.status.success(), "record failed: {}", stdout(&out));
+    assert!(stdout(&out).contains("recorded"), "{}", stdout(&out));
+    assert!(store.exists());
+
+    let out = osnoise(&["analyze", store_str]);
+    assert!(out.status.success(), "analyze failed: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("noise breakdown"), "{text}");
+    assert!(text.contains("per-event statistics"), "{text}");
+
+    let out = osnoise(&["info", store_str]);
+    assert!(out.status.success(), "info failed: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("chunks:"), "{text}");
+    assert!(text.contains("sphot"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_with_store_writes_one_file_per_app() {
+    let dir = tmpdir("campaign");
+    let store = dir.join("stores");
+    let out = osnoise(&[
+        "campaign",
+        "--secs",
+        "1",
+        "--seed",
+        "11",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "campaign failed: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Fig 3"), "{text}");
+    let stores: Vec<_> = std::fs::read_dir(&store)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "osn"))
+        .collect();
+    assert!(
+        stores.len() >= 5,
+        "expected one store per app, got {}",
+        stores.len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cluster_report_covers_curve_and_barrier_classes() {
+    let out = osnoise(&[
+        "cluster", "sphot", "--nodes", "3", "--secs", "1", "--cpus", "2", "--seed", "7",
+    ]);
+    assert!(out.status.success(), "cluster failed: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("3 nodes"), "{text}");
+    assert!(text.contains("amplification curve"), "{text}");
+    assert!(text.contains("barrier paid by noise class"), "{text}");
+    assert!(text.contains("per-rank accounting"), "{text}");
+}
+
+#[test]
+fn cluster_store_spills_one_osn_per_node_and_json_report() {
+    let dir = tmpdir("cluster");
+    let store = dir.join("nodes");
+    let json = dir.join("report.json");
+    let out = osnoise(&[
+        "cluster",
+        "sphot",
+        "--nodes",
+        "2",
+        "--secs",
+        "1",
+        "--cpus",
+        "2",
+        "--seed",
+        "7",
+        "--store",
+        store.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "cluster --store failed: {}",
+        stdout(&out)
+    );
+    for i in 0..2 {
+        assert!(
+            store.join(format!("node-{i}.osn")).exists(),
+            "node-{i}.osn missing"
+        );
+    }
+    let report: osn_core::ClusterReport =
+        serde_json::from_slice(&std::fs::read(&json).unwrap()).unwrap();
+    assert_eq!(report.nodes, 2);
+    assert_eq!(report.node_seeds.len(), 2);
+    assert!(report.slowdown >= 1.0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,576 @@
+//! `osn-cluster`: a mechanistic multi-node campaign.
+//!
+//! Where [`crate::scale::ScaleModel`] *extrapolates* the amplification
+//! of OS noise by a bulk-synchronous collective (resampling one node's
+//! empirical window distribution), this module *runs* it: N independent
+//! [`osn_kernel`] nodes are instantiated with per-node RNG streams
+//! derived from one campaign seed, simulated in parallel across host
+//! threads, and coupled with the barrier model of
+//! [`osn_analysis::collective`] — each phase ends when the slowest
+//! rank arrives, skew carries across phases, and the critical rank's
+//! noise decomposition says which noise class paid for the barrier.
+//!
+//! Rank start offsets are staggered (seed-derived, uniform in
+//! `[0, duration/8)`) so periodic noise is *not* phase-aligned across
+//! nodes — the condition under which the paper's amplification
+//! argument holds. Setting [`ClusterConfig::stagger`] to `false`
+//! simulates the perfectly co-scheduled cluster instead, where
+//! synchronized ticks hit every rank in the same window and the
+//! barrier amplifies almost nothing.
+//!
+//! Determinism contract: a fixed [`ClusterConfig`] yields a
+//! byte-identical [`ClusterReport`] regardless of `workers` (node
+//! results are gathered by index; the coupling and report are
+//! sequential folds in rank order).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use osn_analysis::chart::NoiseChart;
+use osn_analysis::collective::{
+    couple, BspParams, CollectiveBreakdown, CollectiveRun, RankSeries, RankStats,
+};
+use osn_kernel::activity::NoiseCategory;
+use osn_kernel::rng::{derive_indexed_seed, derive_seed};
+use osn_kernel::time::Nanos;
+use osn_store::StoreOptions;
+use osn_workloads::App;
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::{observed_rank_of, run_app, AppRun, ExperimentConfig};
+use crate::scale::ScaleModel;
+use crate::store::{analyze_store, record_app, StoredRunMeta};
+
+/// Label under which per-node seeds derive from the campaign seed.
+const NODE_SEED_LABEL: &str = "cluster-node";
+/// Label under which per-node start offsets derive from the campaign
+/// seed.
+const STAGGER_LABEL: &str = "cluster-stagger";
+/// Monte-Carlo trials for the analytic comparison column.
+const ANALYTIC_TRIALS: u32 = 4_000;
+/// Staggered start offsets are uniform in `[0, duration / STAGGER_DIV)`.
+const STAGGER_DIV: u64 = 8;
+
+/// Configuration of one mechanistic cluster campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    pub app: App,
+    /// Simulated nodes (one BSP rank per node, as in the paper's
+    /// scale discussion).
+    pub nodes: usize,
+    /// Per-node simulated duration.
+    pub duration: Nanos,
+    /// Compute granularity between barriers.
+    pub granularity: Nanos,
+    /// Campaign seed; node `i` runs with
+    /// `derive_indexed_seed(seed, "cluster-node", i)`.
+    pub seed: u64,
+    /// CPUs per node (None = the paper's 8).
+    pub cpus: Option<u16>,
+    /// Cap on simulated phases (0 = as many as the traces allow).
+    pub max_phases: usize,
+    /// Stagger node start offsets (the default). Real cluster nodes
+    /// boot at arbitrary points of their periodic-noise cycles; with
+    /// `false`, every rank starts its trace at 0 and periodic noise is
+    /// phase-aligned across the whole cluster — the perfectly
+    /// co-scheduled ablation, where tick noise does *not* amplify.
+    pub stagger: bool,
+    /// Host worker threads for the node simulations (None =
+    /// `available_parallelism`). Does not affect results.
+    pub workers: Option<usize>,
+}
+
+impl ClusterConfig {
+    pub fn new(app: App, nodes: usize, duration: Nanos) -> ClusterConfig {
+        ClusterConfig {
+            app,
+            nodes,
+            duration,
+            granularity: Nanos::from_millis(1),
+            seed: 0x0511_2011,
+            cpus: None,
+            max_phases: 0,
+            stagger: true,
+            workers: None,
+        }
+    }
+
+    /// The seed node `index` runs with.
+    pub fn node_seed(&self, index: usize) -> u64 {
+        derive_indexed_seed(self.seed, NODE_SEED_LABEL, index as u64)
+    }
+
+    /// The trace position node `index`'s BSP rank starts at. Seed- and
+    /// index-derived, uniform in `[0, duration / 8)`, so node clocks
+    /// are decorrelated deterministically. All zero when `stagger` is
+    /// off.
+    pub fn node_start(&self, index: usize) -> Nanos {
+        if !self.stagger {
+            return Nanos::ZERO;
+        }
+        let span = (self.duration.as_nanos() / STAGGER_DIV).max(1);
+        Nanos(derive_indexed_seed(self.seed, STAGGER_LABEL, index as u64) % span)
+    }
+
+    /// The single-node experiment for node `index`.
+    pub fn node_experiment(&self, index: usize) -> ExperimentConfig {
+        let mut config =
+            ExperimentConfig::paper(self.app, self.duration).with_seed(self.node_seed(index));
+        if let Some(cpus) = self.cpus {
+            config.node.cpus = cpus;
+            config.nranks = cpus as usize;
+        }
+        config
+    }
+
+    fn bsp(&self) -> BspParams {
+        BspParams {
+            max_phases: self.max_phases,
+            ..BspParams::new(self.granularity)
+        }
+    }
+}
+
+/// One point of the mechanistic amplification curve, with the analytic
+/// expectation on the same granularity for comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterScalePoint {
+    pub nodes: usize,
+    pub phases: usize,
+    /// Mean per-phase critical-path noise (mechanistic `E[max_N W]`).
+    pub mean_max_noise: Nanos,
+    pub slowdown: f64,
+    pub efficiency: f64,
+    /// `ScaleModel::expected_max_noise` on node 0's windows at this N.
+    pub analytic_expected_max: Nanos,
+    pub analytic_slowdown: f64,
+    /// Which noise class paid the most barrier time at this scale.
+    pub dominant: Option<NoiseCategory>,
+    /// Barrier-paid noise by category at this scale.
+    pub barrier_paid: Vec<(NoiseCategory, Nanos)>,
+}
+
+/// The serializable cluster campaign report. Byte-identical for a
+/// fixed config regardless of worker threads.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterReport {
+    pub app: App,
+    pub nodes: usize,
+    pub seed: u64,
+    pub node_seeds: Vec<u64>,
+    /// Per-node staggered start offsets (all zero when `stagger` was
+    /// off).
+    pub node_starts: Vec<Nanos>,
+    pub duration: Nanos,
+    pub granularity: Nanos,
+    /// Phases completed at full scale.
+    pub phases: usize,
+    pub ideal: Nanos,
+    pub elapsed: Nanos,
+    pub slowdown: f64,
+    pub efficiency: f64,
+    /// Mechanistic mean per-phase max noise at full scale.
+    pub mean_max_noise: Nanos,
+    /// Mean single-node window noise (the N=1 baseline).
+    pub single_node_mean_noise: Nanos,
+    /// Analytic expectation at full scale, same granularity.
+    pub analytic_expected_max: Nanos,
+    /// mechanistic / analytic (1.0 = perfect agreement). Expect
+    /// slightly < 1: the full dynamics absorb noise in barrier slack,
+    /// which the analytic model cannot. (With `stagger` off the gap
+    /// widens dramatically — phase-aligned periodic noise does not
+    /// amplify.)
+    pub mechanistic_over_analytic: f64,
+    /// Mean per-phase max noise of the *fixed-grid* coupling — the
+    /// run with the analytic model's sampling assumptions (no skew,
+    /// no elongation, no absorption). Differentially comparable to
+    /// `analytic_expected_max` within Monte-Carlo tolerance.
+    pub grid_mean_max_noise: Nanos,
+    /// grid / analytic on pooled windows (the tight differential).
+    pub grid_over_analytic: f64,
+    /// Analytic expectation from the *pooled* windows of all nodes
+    /// (removes node-to-node sampling variation from the grid
+    /// comparison).
+    pub pooled_expected_max: Nanos,
+    /// Which class paid for the barrier, full scale.
+    pub barrier_paid: Vec<(NoiseCategory, Nanos)>,
+    /// Per-rank compute/self-noise/wait/critical accounting.
+    pub ranks: Vec<RankStats>,
+    /// Amplification at power-of-two sub-scales of the same campaign.
+    pub curve: Vec<ClusterScalePoint>,
+}
+
+/// A completed cluster campaign: the per-node runs, the coupled
+/// collective run, its breakdown, and the serializable report.
+pub struct ClusterOutcome {
+    pub config: ClusterConfig,
+    pub nodes: Vec<AppRun>,
+    pub collective: CollectiveRun,
+    pub breakdown: CollectiveBreakdown,
+    pub report: ClusterReport,
+}
+
+/// Run `n` independent jobs on at most `workers` threads, gathering
+/// results by index (completion order never shows in the output).
+fn indexed_parallel<T: Send>(n: usize, workers: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let workers = workers.min(n).max(1);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                if tx.send((idx, job(idx))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    for (idx, value) in rx {
+        out[idx] = Some(value);
+    }
+    out.into_iter()
+        .map(|v| v.expect("worker panicked"))
+        .collect()
+}
+
+fn worker_count(config: &ClusterConfig) -> usize {
+    config.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Extract one node's BSP rank input: the observed rank's noise chart,
+/// the trace horizon, and the staggered start offset.
+fn rank_series(run: &AppRun, start: Nanos) -> RankSeries {
+    RankSeries::new(
+        NoiseChart::build(&run.analysis, run.observed_rank()),
+        run.result.end_time,
+    )
+    .with_start(start)
+}
+
+/// Build [`ScaleModel`]'s window distribution from a rank series
+/// directly (shared by the in-memory and the stored path, so both
+/// produce the same analytic column). Windows are bucketed from the
+/// rank's staggered start, so the analytic model resamples exactly the
+/// windows the fixed-grid coupling walks.
+fn model_from_series(series: &RankSeries, granularity: Nanos) -> ScaleModel {
+    let nwindows = (series.horizon.saturating_sub(series.start) / granularity) as usize;
+    ScaleModel::from_windows(
+        granularity,
+        series.chart.bucket(series.start, granularity, nwindows),
+    )
+}
+
+/// The power-of-two sub-scales reported by the curve (always includes
+/// 1 and `n`).
+fn curve_scales(n: usize) -> Vec<usize> {
+    let mut scales = Vec::new();
+    let mut k = 1;
+    while k < n {
+        scales.push(k);
+        k *= 2;
+    }
+    if n > 0 {
+        scales.push(n);
+    }
+    scales
+}
+
+/// Couple the rank series at every sub-scale and assemble the report.
+fn build_report(config: &ClusterConfig, series: &[RankSeries]) -> ClusterReport {
+    let params = config.bsp();
+    // Analytic model: node 0's fixed-grid windows, the same input
+    // `ScaleModel::from_run` would build.
+    let model = series
+        .first()
+        .map(|s| model_from_series(s, config.granularity))
+        .unwrap_or_else(|| ScaleModel::from_windows(config.granularity, Vec::new()));
+    let mc_seed = derive_seed(config.seed, "cluster-analytic");
+    let g = config.granularity.as_nanos() as f64;
+
+    let mut curve = Vec::new();
+    let mut full: Option<CollectiveBreakdown> = None;
+    for k in curve_scales(config.nodes) {
+        let run = couple(&series[..k], &params);
+        let b = CollectiveBreakdown::build(&run);
+        let analytic = model.expected_max_noise(k as u64, ANALYTIC_TRIALS, mc_seed);
+        curve.push(ClusterScalePoint {
+            nodes: k,
+            phases: b.nphases,
+            mean_max_noise: b.mean_max_noise,
+            slowdown: b.slowdown,
+            efficiency: b.efficiency,
+            analytic_expected_max: analytic,
+            analytic_slowdown: (g + analytic.as_nanos() as f64) / g,
+            dominant: b.dominant(),
+            barrier_paid: b.barrier_paid.clone(),
+        });
+        if k == config.nodes {
+            full = Some(b);
+        }
+    }
+    let full = full.unwrap_or_else(|| CollectiveBreakdown::build(&couple(&[], &params)));
+    let analytic_expected_max =
+        model.expected_max_noise(config.nodes.max(1) as u64, ANALYTIC_TRIALS, mc_seed);
+    let mech = full.mean_max_noise.as_nanos() as f64;
+    let ana = analytic_expected_max.as_nanos() as f64;
+
+    // The tight differential: fixed-grid coupling vs the analytic
+    // expectation over the pooled windows of all nodes. Both estimate
+    // E[max_N W] over the same empirical distribution; they differ
+    // only by Monte-Carlo error and with/without-replacement sampling.
+    let grid = CollectiveBreakdown::build(&couple(series, &params.fixed_grid()));
+    let pooled_windows: Vec<Nanos> = series
+        .iter()
+        .flat_map(|s| model_from_series(s, config.granularity).windows)
+        .collect();
+    let pooled = ScaleModel::from_windows(config.granularity, pooled_windows);
+    let pooled_expected_max =
+        pooled.expected_max_noise(config.nodes.max(1) as u64, ANALYTIC_TRIALS, mc_seed);
+    let grid_mean = grid.mean_max_noise.as_nanos() as f64;
+    let pooled_ana = pooled_expected_max.as_nanos() as f64;
+    ClusterReport {
+        app: config.app,
+        nodes: config.nodes,
+        seed: config.seed,
+        node_seeds: (0..config.nodes).map(|i| config.node_seed(i)).collect(),
+        node_starts: (0..config.nodes).map(|i| config.node_start(i)).collect(),
+        duration: config.duration,
+        granularity: config.granularity,
+        phases: full.nphases,
+        ideal: full.ideal,
+        elapsed: full.elapsed,
+        slowdown: full.slowdown,
+        efficiency: full.efficiency,
+        mean_max_noise: full.mean_max_noise,
+        single_node_mean_noise: model.mean_window_noise(),
+        analytic_expected_max,
+        mechanistic_over_analytic: if ana > 0.0 { mech / ana } else { 1.0 },
+        grid_mean_max_noise: grid.mean_max_noise,
+        grid_over_analytic: if pooled_ana > 0.0 {
+            grid_mean / pooled_ana
+        } else {
+            1.0
+        },
+        pooled_expected_max,
+        barrier_paid: full.barrier_paid,
+        ranks: full.ranks,
+        curve,
+    }
+}
+
+/// Run the full mechanistic cluster campaign in memory: N node
+/// simulations in parallel, then the BSP coupling and report.
+pub fn run_cluster(config: &ClusterConfig) -> ClusterOutcome {
+    let nodes = indexed_parallel(config.nodes, worker_count(config), |i| {
+        run_app(config.node_experiment(i))
+    });
+    let series: Vec<RankSeries> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, run)| rank_series(run, config.node_start(i)))
+        .collect();
+    let collective = couple(&series, &config.bsp());
+    let breakdown = CollectiveBreakdown::build(&collective);
+    let report = build_report(config, &series);
+    ClusterOutcome {
+        config: config.clone(),
+        nodes,
+        collective,
+        breakdown,
+        report,
+    }
+}
+
+/// Run the cluster with every node *spilling* its trace to
+/// `dir/node-<i>.osn` while it runs (the [`record_app`] path: the
+/// traces are never memory-resident), then rebuild the rank series by
+/// streamed out-of-core analysis of each store file. The report is
+/// byte-identical to [`run_cluster`]'s on the same config.
+pub fn run_cluster_stored(
+    config: &ClusterConfig,
+    dir: &Path,
+    opts: StoreOptions,
+) -> io::Result<(ClusterReport, Vec<PathBuf>)> {
+    std::fs::create_dir_all(dir)?;
+    let paths: Vec<PathBuf> = (0..config.nodes)
+        .map(|i| dir.join(format!("node-{i}.osn")))
+        .collect();
+    let recorded = indexed_parallel(config.nodes, worker_count(config), |i| {
+        record_app(config.node_experiment(i), &paths[i], opts)
+    });
+    for r in &recorded {
+        if let Err(e) = r {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+    }
+    let series = paths
+        .iter()
+        .enumerate()
+        .map(|(i, path)| stored_rank_series(path, config.node_start(i)))
+        .collect::<io::Result<Vec<_>>>()?;
+    Ok((build_report(config, &series), paths))
+}
+
+/// Rebuild one node's rank series from its store file, out-of-core.
+fn stored_rank_series(path: &Path, start: Nanos) -> io::Result<RankSeries> {
+    let reader = crate::store::Reader::open(path)?;
+    let meta = StoredRunMeta::from_bytes(reader.metadata())?;
+    let analysis = analyze_store(&reader, &meta.result)?;
+    let observed = observed_rank_of(&analysis, &meta.ranks, meta.config.node.net_irq_cpu);
+    Ok(
+        RankSeries::new(NoiseChart::build(&analysis, observed), meta.result.end_time)
+            .with_start(start),
+    )
+}
+
+impl ClusterReport {
+    /// Human-readable campaign summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} cluster — {} nodes, {} phases of {}, seed {:#x}",
+            self.app.name().to_uppercase(),
+            self.nodes,
+            self.phases,
+            self.granularity,
+            self.seed,
+        );
+        let _ = writeln!(
+            out,
+            "  ideal {}  elapsed {}  slowdown {:.4}x  efficiency {:.2}%",
+            self.ideal,
+            self.elapsed,
+            self.slowdown,
+            self.efficiency * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  mean max noise/phase {} (analytic {}, mech/analytic {:.3})",
+            self.mean_max_noise, self.analytic_expected_max, self.mechanistic_over_analytic
+        );
+        let _ = writeln!(
+            out,
+            "  fixed-grid differential: {} vs pooled analytic {} (ratio {:.3})",
+            self.grid_mean_max_noise, self.pooled_expected_max, self.grid_over_analytic
+        );
+        let _ = writeln!(out, "\n  amplification curve (mechanistic vs analytic):");
+        for p in &self.curve {
+            let _ = writeln!(
+                out,
+                "    {:>5} nodes: {:>8.4}x slowdown ({:>8.4}x analytic)  E[max W] {:>10} ({:>10})  dominant {}",
+                p.nodes,
+                p.slowdown,
+                p.analytic_slowdown,
+                p.mean_max_noise.to_string(),
+                p.analytic_expected_max.to_string(),
+                p.dominant.map(|c| c.name()).unwrap_or("-"),
+            );
+        }
+        let _ = writeln!(out, "\n  barrier paid by noise class (full scale):");
+        let total = self.barrier_paid.iter().map(|(_, d)| *d).sum::<Nanos>();
+        for (cat, d) in &self.barrier_paid {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                d.as_nanos() as f64 / total.as_nanos() as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>12}  {:>5.1}%",
+                cat.name(),
+                d.to_string(),
+                share
+            );
+        }
+        let _ = writeln!(out, "\n  per-rank accounting:");
+        for r in &self.ranks {
+            let _ = writeln!(
+                out,
+                "    rank {:>3}: compute {}  self-noise {}  wait {}  critical in {}/{} phases",
+                r.rank, r.compute, r.self_noise, r.wait, r.critical_phases, self.phases
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(nodes: usize) -> ClusterConfig {
+        let mut config = ClusterConfig::new(App::Sphot, nodes, Nanos::from_millis(400));
+        config.cpus = Some(2);
+        config.seed = 77;
+        config
+    }
+
+    #[test]
+    fn cluster_runs_and_amplifies() {
+        let outcome = run_cluster(&tiny(3));
+        let r = &outcome.report;
+        assert_eq!(r.nodes, 3);
+        assert!(r.phases > 100, "{} phases", r.phases);
+        assert!(r.slowdown >= 1.0);
+        // Amplification: the 3-node barrier pays at least the mean
+        // single-node window noise.
+        assert!(r.mean_max_noise >= r.single_node_mean_noise);
+        // Curve covers 1, 2, 3 and is monotone in expected max noise.
+        let scales: Vec<usize> = r.curve.iter().map(|p| p.nodes).collect();
+        assert_eq!(scales, vec![1, 2, 3]);
+        assert!(r.curve[0].mean_max_noise <= r.curve[2].mean_max_noise);
+        // Per-rank accounting closes.
+        for rank in &r.ranks {
+            assert_eq!(rank.compute + rank.self_noise + rank.wait, r.elapsed);
+        }
+        // Render mentions the dominant class section.
+        assert!(r.render().contains("barrier paid by noise class"));
+    }
+
+    #[test]
+    fn node_seeds_are_distinct_and_reported() {
+        let config = tiny(4);
+        let outcome = run_cluster(&config);
+        let seeds = &outcome.report.node_seeds;
+        assert_eq!(seeds.len(), 4);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), 4);
+        for (i, s) in seeds.iter().enumerate() {
+            assert_eq!(*s, config.node_seed(i));
+        }
+        // Distinct seeds produce distinct traces.
+        assert_ne!(outcome.nodes[0].trace.len(), 0, "node 0 produced no events");
+        assert_ne!(
+            outcome.nodes[0].trace.events, outcome.nodes[1].trace.events,
+            "nodes 0 and 1 are identical — seed derivation broken"
+        );
+    }
+
+    #[test]
+    fn max_phases_is_honored() {
+        let mut config = tiny(2);
+        config.max_phases = 25;
+        let outcome = run_cluster(&config);
+        assert_eq!(outcome.report.phases, 25);
+    }
+}

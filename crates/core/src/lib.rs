@@ -13,6 +13,7 @@
 //! ```
 
 pub mod campaign;
+pub mod cluster;
 pub mod experiment;
 pub mod figures;
 pub mod report;
@@ -20,6 +21,10 @@ pub mod scale;
 pub mod store;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
+pub use cluster::{
+    run_cluster, run_cluster_stored, ClusterConfig, ClusterOutcome, ClusterReport,
+    ClusterScalePoint,
+};
 pub use experiment::{run_app, AppRun, ExperimentConfig};
 pub use figures::{
     fig10_pairs, fig1_config, fig2_interruption, fig9_composites, run_ftq, FtqExperiment,

@@ -42,6 +42,20 @@ pub fn derive_seed(root: u64, label: &str) -> u64 {
     splitmix64(&mut state)
 }
 
+/// Derive the seed for member `index` of a family of streams (e.g. the
+/// per-node roots of a multi-node cluster campaign).
+///
+/// The root is first separated by `label` exactly as in
+/// [`derive_seed`], then the index is folded in through its own
+/// splitmix64 rounds, so `(root, label, i)` and `(root, label, j)` are
+/// as decorrelated as two unrelated seeds while every member remains a
+/// pure function of the one campaign root.
+pub fn derive_indexed_seed(root: u64, label: &str, index: u64) -> u64 {
+    let mut state = derive_seed(root, label) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut state);
+    splitmix64(&mut state)
+}
+
 /// A named deterministic random stream.
 #[derive(Debug, Clone)]
 pub struct Stream {
@@ -253,6 +267,28 @@ mod tests {
         assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
         assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
         assert_eq!(derive_seed(7, "z"), derive_seed(7, "z"));
+    }
+
+    #[test]
+    fn indexed_seeds_are_distinct_and_deterministic() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            assert!(seen.insert(derive_indexed_seed(42, "cluster-node", i)));
+        }
+        assert_eq!(
+            derive_indexed_seed(42, "cluster-node", 7),
+            derive_indexed_seed(42, "cluster-node", 7)
+        );
+        assert_ne!(
+            derive_indexed_seed(42, "cluster-node", 7),
+            derive_indexed_seed(43, "cluster-node", 7)
+        );
+        assert_ne!(
+            derive_indexed_seed(42, "cluster-node", 7),
+            derive_indexed_seed(42, "other", 7)
+        );
+        // Index 0 is still label-mixed, not the bare derive_seed.
+        assert_ne!(derive_indexed_seed(42, "x", 0), derive_seed(42, "x"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! ```
 //!
 //! The resulting [`PhaseWorkload`] implements
-//! [`Workload`](osn_kernel::workload::Workload) and can be handed to
+//! [`Workload`] and can be handed to
 //! `Node::spawn_job` / `spawn_process` like any other.
 
 use osn_kernel::ids::RegionId;

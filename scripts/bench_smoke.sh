@@ -4,13 +4,19 @@
 # BENCH_PR1.json (per-app events/sec heap vs wheel, plus the
 # queue-depth sweep), BENCH_PR3.json (sharded/fused analysis engine
 # vs the sequential reference, campaign + rank sweep — every timed rep
-# also differentially checks the reports are bit-identical), and
+# also differentially checks the reports are bit-identical),
 # BENCH_PR4.json (chunked on-disk store: write MB/s, codec ratio, and
 # out-of-core streamed analysis vs in-memory, differentially checked
-# per rep). Intended for CI and for a quick local sanity run after
-# touching the engine or analysis hot paths.
+# per rep), and BENCH_PR5.json (mechanistic cluster engine: nodes/sec
+# vs worker-thread count, byte-identical reports per rep). Intended
+# for CI and for a quick local sanity run after touching the engine or
+# analysis hot paths.
 #
-# Knobs are forwarded to both binaries: OSN_SECS (default 5 here —
+# Each binary's output is scanned for "panicked at": a panic on a
+# spawned thread can reach stderr without failing the process, and a
+# bench that half-ran must not pass the smoke check.
+#
+# Knobs are forwarded to all binaries: OSN_SECS (default 5 here —
 # short but long enough that per-run timing is meaningful), OSN_REPS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,13 +24,23 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 
-OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
-    cargo run --release -p osn-bench --bin engine_throughput
+run_bench() {
+    local bin="$1"
+    local log
+    log="$(mktemp)"
+    OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
+        cargo run -q --release --offline -p osn-bench --bin "$bin" 2>&1 | tee "$log"
+    if grep -q "panicked at" "$log"; then
+        rm -f "$log"
+        echo "bench_smoke: $bin panicked" >&2
+        exit 1
+    fi
+    rm -f "$log"
+}
 
-OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
-    cargo run --release -p osn-bench --bin analysis_throughput
+run_bench engine_throughput
+run_bench analysis_throughput
+run_bench store_throughput
+run_bench cluster_throughput
 
-OSN_SECS="${OSN_SECS:-5}" OSN_REPS="${OSN_REPS:-2}" \
-    cargo run --release -p osn-bench --bin store_throughput
-
-echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json)"
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json)"

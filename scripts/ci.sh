@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Repo-wide CI gate: formatting, lints, and the full test suite.
+# Repo-wide CI gate: formatting, lints, the full test suite, doc
+# tests, and a doc-warning lint — each step individually timed so CI
+# logs show where the minutes go.
 #
-# Clippy runs with --no-deps over the first-party crates only — the
+# Clippy and the doc lint run over the first-party crates only — the
 # vendored dependencies under vendor/ are pinned upstream sources and
 # not held to this repo's lint bar.
+#
+# Set OSN_BENCH_GATE=1 to also run the benchmark regression gate
+# (scripts/bench_gate.sh): reruns the bench suite and fails on >15%
+# aggregate regression against the committed BENCH_PR*.json baselines.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +27,30 @@ FIRST_PARTY=(
     -p osnoise
 )
 
-cargo fmt --check
-cargo clippy --offline --no-deps --all-targets "${FIRST_PARTY[@]}" -- -D warnings
-cargo test -q
+STEP_T0=0
+step_begin() {
+    STEP_T0=$SECONDS
+    echo "== ci: $1"
+}
+step_end() {
+    echo "== ci: $1 OK ($((SECONDS - STEP_T0))s)"
+}
+run_step() {
+    local name="$1"
+    shift
+    step_begin "$name"
+    "$@"
+    step_end "$name"
+}
 
-echo "ci: OK"
+run_step fmt cargo fmt --check
+run_step clippy cargo clippy --offline --no-deps --all-targets "${FIRST_PARTY[@]}" -- -D warnings
+run_step test cargo test -q --offline
+run_step doc-test cargo test -q --offline --doc
+run_step doc-lint env RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps "${FIRST_PARTY[@]}"
+
+if [[ "${OSN_BENCH_GATE:-0}" == "1" ]]; then
+    run_step bench-gate scripts/bench_gate.sh
+fi
+
+echo "ci: OK (${SECONDS}s total)"
