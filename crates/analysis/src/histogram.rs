@@ -54,16 +54,23 @@ impl Histogram {
         let cut = percentile_sorted(&sorted, pct);
         let span = (cut - lo).max(Nanos(1));
         let width = Nanos(span.as_nanos().div_ceil(bins as u64)).max(Nanos(1));
+        // The samples are sorted, so each bin is a contiguous run:
+        // instead of a division per sample, binary-search each bin's
+        // right edge — O(bins · log n) instead of O(n) divisions, same
+        // counts bit for bit. Edges are computed in u128 so a huge
+        // `lo + k·width` cannot wrap and misplace tail samples.
+        let n_in = sorted.partition_point(|&s| s <= cut);
+        let overflow = (sorted.len() - n_in) as u64;
+        let in_cut = &sorted[..n_in];
         let mut counts = vec![0u64; bins];
-        let mut overflow = 0u64;
-        for &s in &sorted {
-            if s > cut {
-                overflow += 1;
-                continue;
-            }
-            let idx = ((s - lo) / width) as usize;
-            counts[idx.min(bins - 1)] += 1;
+        let mut prev = 0usize;
+        for (k, count) in counts.iter_mut().enumerate().take(bins - 1) {
+            let edge = lo.as_nanos() as u128 + width.as_nanos() as u128 * (k as u128 + 1);
+            let next = prev + in_cut[prev..].partition_point(|&s| (s.as_nanos() as u128) < edge);
+            *count = (next - prev) as u64;
+            prev = next;
         }
+        counts[bins - 1] = (n_in - prev) as u64;
         Histogram {
             lo,
             width,

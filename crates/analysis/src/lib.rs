@@ -30,7 +30,7 @@ pub use collective::{
     couple, BspParams, CollectiveBreakdown, CollectiveRun, PhaseOutcome, RankSeries, RankStats,
 };
 pub use histogram::Histogram;
-pub use nesting::{ActivityInstance, NestingReport};
+pub use nesting::{ActivityInstance, ColumnPairing, NestingReport};
 pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};
 pub use par::{default_workers, parallel_map};
 pub use signature::{Drift, NoiseSignature, SignatureEntry};

@@ -15,7 +15,8 @@
 use osn_kernel::activity::Activity;
 use osn_kernel::ids::{CpuId, Tid};
 use osn_kernel::time::Nanos;
-use osn_trace::{Event, EventKind, Trace};
+use osn_trace::columns::code;
+use osn_trace::{Event, EventColumns, EventKind, Trace};
 
 use serde::{Deserialize, Serialize};
 
@@ -88,7 +89,9 @@ struct OpenSlot {
     resumed: Nanos,
 }
 
-/// Run the enter/exit pairing state machine over one CPU's stream.
+/// The enter/exit pairing state machine for one CPU's stream, as a
+/// resumable value: feed it events — typed, or straight out of
+/// columnar chunk blocks — in stream order, then [`finish`] it.
 ///
 /// Instances are emitted in frame-*open* order with their `end` and
 /// `self_time` filled in at close, which leaves the shard sorted by
@@ -96,95 +99,156 @@ struct OpenSlot {
 /// the reference order is descending `end` with ties in close order
 /// (its stable sort over close-order emission); open order can differ
 /// there — e.g. a zero-width frame opening before a longer sibling at
-/// the same timestamp — so [`fix_equal_start_runs`] re-sorts those runs
-/// using the recorded close sequence. No full per-shard sort is needed.
-fn reconstruct_stream(
-    events: impl Iterator<Item = Event>,
-    out: &mut Vec<ActivityInstance>,
-    report: &mut NestingReport,
-) {
-    let base = out.len();
-    let mut stack: Vec<OpenSlot> = Vec::new();
-    // Close sequence per emitted slot, index-aligned with `out[base..]`;
-    // unclosed/dropped slots keep `u32::MAX`.
-    let mut close_seq: Vec<u32> = Vec::new();
-    let mut next_seq = 0u32;
-    let mut dropped = 0usize;
-    for event in events {
-        let Event { t, cpu, tid, kind } = event;
-        match kind {
-            EventKind::KernelEnter(activity) => {
-                // Suspend the currently running frame, if any.
-                if let Some(top) = stack.last_mut() {
-                    top.self_acc += t - top.resumed;
-                }
-                let depth = stack.len() as u16;
-                stack.push(OpenSlot {
-                    idx: out.len(),
-                    activity,
-                    self_acc: Nanos::ZERO,
-                    resumed: t,
-                });
-                out.push(ActivityInstance {
-                    activity,
-                    cpu,
-                    ctx: tid,
-                    start: t,
-                    end: PENDING,
-                    self_time: Nanos::ZERO,
-                    depth,
-                });
-                close_seq.push(u32::MAX);
+/// the same timestamp — so `fix_equal_start_runs` re-sorts those runs
+/// at [`finish`] using the recorded close sequence. No full per-shard
+/// sort is needed.
+///
+/// Being resumable is what lets the out-of-core path decode one chunk
+/// at a time into a reused [`EventColumns`] block and keep pairing
+/// across chunk boundaries without materializing the CPU's stream.
+///
+/// [`finish`]: ColumnPairing::finish
+#[derive(Default)]
+pub struct ColumnPairing {
+    out: Vec<ActivityInstance>,
+    /// Close sequence per emitted slot, index-aligned with `out`;
+    /// unclosed/dropped slots keep `u32::MAX`.
+    close_seq: Vec<u32>,
+    stack: Vec<OpenSlot>,
+    next_seq: u32,
+    dropped: usize,
+    report: NestingReport,
+}
+
+impl ColumnPairing {
+    pub fn new() -> ColumnPairing {
+        ColumnPairing::default()
+    }
+
+    /// Instances closed so far (monotone; cheap progress probe).
+    #[inline]
+    pub fn closed(&self) -> usize {
+        self.next_seq as usize
+    }
+
+    #[inline]
+    fn on_enter(&mut self, t: Nanos, cpu: CpuId, ctx: Tid, activity: Activity) {
+        // Suspend the currently running frame, if any.
+        if let Some(top) = self.stack.last_mut() {
+            top.self_acc += t - top.resumed;
+        }
+        let depth = self.stack.len() as u16;
+        self.stack.push(OpenSlot {
+            idx: self.out.len(),
+            activity,
+            self_acc: Nanos::ZERO,
+            resumed: t,
+        });
+        self.out.push(ActivityInstance {
+            activity,
+            cpu,
+            ctx,
+            start: t,
+            end: PENDING,
+            self_time: Nanos::ZERO,
+            depth,
+        });
+        self.close_seq.push(u32::MAX);
+    }
+
+    #[inline]
+    fn on_exit(&mut self, t: Nanos, activity: Activity) {
+        match self.stack.last() {
+            None => {
+                self.report.orphan_exits += 1;
             }
-            EventKind::KernelExit(activity) => {
-                match stack.last() {
-                    None => {
-                        report.orphan_exits += 1;
-                    }
-                    Some(top) if top.activity != activity => {
-                        report.mismatched_exits += 1;
-                        // Drop the unmatched frame to resynchronize;
-                        // its placeholder stays PENDING and is filtered
-                        // out below.
-                        stack.pop();
-                        dropped += 1;
-                        if let Some(parent) = stack.last_mut() {
-                            parent.resumed = t;
-                        }
-                    }
-                    Some(_) => {
-                        let frame = stack.pop().expect("checked non-empty");
-                        let slot = &mut out[frame.idx];
-                        slot.end = t;
-                        slot.self_time = frame.self_acc + (t - frame.resumed);
-                        close_seq[frame.idx - base] = next_seq;
-                        next_seq += 1;
-                        if let Some(parent) = stack.last_mut() {
-                            parent.resumed = t;
-                        }
-                    }
+            Some(top) if top.activity != activity => {
+                self.report.mismatched_exits += 1;
+                // Drop the unmatched frame to resynchronize; its
+                // placeholder stays PENDING and is compacted out at
+                // finish.
+                self.stack.pop();
+                self.dropped += 1;
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.resumed = t;
                 }
             }
-            _ => {}
+            Some(_) => {
+                let frame = self.stack.pop().expect("checked non-empty");
+                let slot = &mut self.out[frame.idx];
+                slot.end = t;
+                slot.self_time = frame.self_acc + (t - frame.resumed);
+                self.close_seq[frame.idx] = self.next_seq;
+                self.next_seq += 1;
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.resumed = t;
+                }
+            }
         }
     }
-    report.unclosed_enters += stack.len() as u64;
-    dropped += stack.len();
-    if dropped > 0 {
-        // Compact out the PENDING placeholders, keeping `close_seq`
-        // aligned.
-        let mut w = base;
-        for r in base..out.len() {
-            if out[r].end != PENDING {
-                out[w] = out[r];
-                close_seq[w - base] = close_seq[r - base];
-                w += 1;
+
+    /// Feed one columnar block (this CPU's next records, in stream
+    /// order). The hot loop touches only the `code`, `t`, `tid` and
+    /// `a` columns — no [`Event`] is materialized — and falls straight
+    /// through for the scheduler/app records pairing ignores.
+    pub fn feed_columns(&mut self, cols: &EventColumns) {
+        let cpu = cols.cpu;
+        // Lockstep zip over the four columns elides the bounds checks a
+        // shared index would re-pay per column.
+        for (((&c, &t), &tid), &a) in cols
+            .code
+            .iter()
+            .zip(cols.t.iter())
+            .zip(cols.tid.iter())
+            .zip(cols.a.iter())
+        {
+            if c == code::ENTER {
+                let activity = Activity::from_code(a as u16)
+                    .expect("column records are validated on construction");
+                self.on_enter(Nanos(t), cpu, Tid(tid), activity);
+            } else if c == code::EXIT {
+                let activity = Activity::from_code(a as u16)
+                    .expect("column records are validated on construction");
+                self.on_exit(Nanos(t), activity);
             }
         }
-        out.truncate(w);
-        close_seq.truncate(w - base);
     }
-    fix_equal_start_runs(&mut out[base..], &close_seq);
+
+    /// Feed typed events (the fallback for sources without columns).
+    pub fn feed_events(&mut self, events: impl Iterator<Item = Event>) {
+        for event in events {
+            let Event { t, cpu, tid, kind } = event;
+            match kind {
+                EventKind::KernelEnter(activity) => self.on_enter(t, cpu, tid, activity),
+                EventKind::KernelExit(activity) => self.on_exit(t, activity),
+                _ => {}
+            }
+        }
+    }
+
+    /// Account unclosed frames, compact dropped placeholders, restore
+    /// the reference order within equal-`start` runs, and return the
+    /// shard.
+    pub fn finish(mut self) -> (Vec<ActivityInstance>, NestingReport) {
+        self.report.unclosed_enters += self.stack.len() as u64;
+        self.dropped += self.stack.len();
+        if self.dropped > 0 {
+            // Compact out the PENDING placeholders, keeping
+            // `close_seq` aligned.
+            let mut w = 0;
+            for r in 0..self.out.len() {
+                if self.out[r].end != PENDING {
+                    self.out[w] = self.out[r];
+                    self.close_seq[w] = self.close_seq[r];
+                    w += 1;
+                }
+            }
+            self.out.truncate(w);
+            self.close_seq.truncate(w);
+        }
+        fix_equal_start_runs(&mut self.out, &self.close_seq);
+        (self.out, self.report)
+    }
 }
 
 /// Re-sort every maximal run of instances sharing a `start` into the
@@ -229,14 +293,12 @@ pub fn reconstruct_sharded(
 ) -> (Vec<ActivityInstance>, NestingReport) {
     let ncpus = trace.ncpus();
     let shards = crate::par::parallel_map(ncpus, workers, |cpu| {
-        let mut out = Vec::new();
-        let mut report = NestingReport::default();
-        reconstruct_stream(
-            trace.cpu_events(CpuId(cpu as u16)).copied(),
-            &mut out,
-            &mut report,
-        );
-        (out, report)
+        let mut pairing = ColumnPairing::new();
+        match trace.cpu_columns(CpuId(cpu as u16)) {
+            Some(cols) => pairing.feed_columns(cols),
+            None => pairing.feed_events(trace.cpu_events(CpuId(cpu as u16)).copied()),
+        }
+        pairing.finish()
     });
     merge_shards(shards)
 }
@@ -267,10 +329,9 @@ where
             .expect("stream slot poisoned")
             .take()
             .expect("stream taken twice");
-        let mut out = Vec::new();
-        let mut report = NestingReport::default();
-        reconstruct_stream(stream, &mut out, &mut report);
-        (out, report)
+        let mut pairing = ColumnPairing::new();
+        pairing.feed_events(stream);
+        pairing.finish()
     });
     merge_shards(shards)
 }
@@ -278,7 +339,11 @@ where
 /// K-way merge of per-CPU shards by (start, cpu), summing the reports.
 /// Keys never tie across shards (the cpu differs), so heap order plus
 /// per-shard FIFO reproduces the reference stable sort exactly.
-fn merge_shards(
+///
+/// Public so out-of-core drivers (`osn-core`'s store path) can pair
+/// per-CPU chunk cursors themselves and still get the reference global
+/// order.
+pub fn merge_shards(
     shards: Vec<(Vec<ActivityInstance>, NestingReport)>,
 ) -> (Vec<ActivityInstance>, NestingReport) {
     let mut report = NestingReport::default();
@@ -290,22 +355,30 @@ fn merge_shards(
 
     let total: usize = shards.iter().map(|(v, _)| v.len()).sum();
     let mut out = Vec::with_capacity(total);
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(Nanos, u16, usize)>> =
-        std::collections::BinaryHeap::with_capacity(shards.len());
+    // Shard count is the CPU count — single digits — so a linear scan
+    // over the head keys beats a binary heap: no sift traffic, and the
+    // branch on `<` is predictable. Heads are cached in a small array
+    // so the scan never touches the shard vectors except to refill.
+    // Exhausted shards park at a key above every real one (`cpu` breaks
+    // ties among them, so the sentinel never collides with a live key).
+    const DONE: (Nanos, u16) = (Nanos(u64::MAX), u16::MAX);
     let mut cursors = vec![0usize; shards.len()];
-    for (i, (shard, _)) in shards.iter().enumerate() {
-        if let Some(first) = shard.first() {
-            heap.push(std::cmp::Reverse((first.start, first.cpu.0, i)));
+    let mut heads: Vec<(Nanos, u16)> = shards
+        .iter()
+        .map(|(shard, _)| shard.first().map_or(DONE, |f| (f.start, f.cpu.0)))
+        .collect();
+    for _ in 0..total {
+        let mut best = 0usize;
+        for i in 1..heads.len() {
+            if heads[i] < heads[best] {
+                best = i;
+            }
         }
-    }
-    while let Some(std::cmp::Reverse((_, _, i))) = heap.pop() {
-        let shard = &shards[i].0;
-        let cur = cursors[i];
+        let shard = &shards[best].0;
+        let cur = cursors[best];
         out.push(shard[cur]);
-        cursors[i] = cur + 1;
-        if let Some(next) = shard.get(cur + 1) {
-            heap.push(std::cmp::Reverse((next.start, next.cpu.0, i)));
-        }
+        cursors[best] = cur + 1;
+        heads[best] = shard.get(cur + 1).map_or(DONE, |n| (n.start, n.cpu.0));
     }
     (out, report)
 }

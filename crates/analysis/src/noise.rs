@@ -167,6 +167,10 @@ struct InstanceIndex {
     /// `(start, cpu, Reverse(end))`-sorted, so a per-CPU subsequence
     /// stays start-ordered).
     per_cpu: Vec<Vec<u32>>,
+    /// Asynchronous (irq/softirq) positions per CPU — the only
+    /// instances Ready-gap decomposition can select; filled in the same
+    /// walk as `per_ctx` so the instance array is traversed once.
+    per_cpu_async: Vec<Vec<u32>>,
     /// Positions per application context, *cpu-major* — exactly the
     /// order the reference gather visits them — keyed by tid, sorted
     /// for binary search. This is the index that turns the per-task
@@ -178,6 +182,7 @@ struct InstanceIndex {
 impl InstanceIndex {
     fn build(instances: &[ActivityInstance], app_tids: &[Tid]) -> InstanceIndex {
         let per_cpu = per_cpu_positions(instances);
+        let mut per_cpu_async: Vec<Vec<u32>> = vec![Vec::new(); per_cpu.len()];
 
         let mut tids: Vec<Tid> = app_tids.to_vec();
         tids.sort_unstable_by_key(|t| t.0);
@@ -188,9 +193,14 @@ impl InstanceIndex {
         // Consecutive instances usually share a context (nested frames,
         // repeated ticks in one residency), so memoize the last lookup.
         let mut last: Option<(Tid, Option<usize>)> = None;
-        for list in &per_cpu {
+        for (cpu, list) in per_cpu.iter().enumerate() {
+            let asyncs = &mut per_cpu_async[cpu];
             for &pos in list {
-                let ctx = instances[pos as usize].ctx;
+                let inst = &instances[pos as usize];
+                if is_async(inst.activity) {
+                    asyncs.push(pos);
+                }
+                let ctx = inst.ctx;
                 let slot = match last {
                     Some((t, s)) if t == ctx => s,
                     _ => {
@@ -204,7 +214,11 @@ impl InstanceIndex {
                 }
             }
         }
-        InstanceIndex { per_cpu, per_ctx }
+        InstanceIndex {
+            per_cpu,
+            per_cpu_async,
+            per_ctx,
+        }
     }
 
     fn ctx_positions(&self, tid: Tid) -> &[u32] {
@@ -223,13 +237,19 @@ impl InstanceIndex {
 /// the instance-derived CPU count, which also sizes the running-segment
 /// index (`decompose_gap` bounds-checks against it).
 fn per_cpu_positions(instances: &[ActivityInstance]) -> Vec<Vec<u32>> {
-    let mut per_cpu: Vec<Vec<u32>> = Vec::new();
-    for (pos, inst) in instances.iter().enumerate() {
+    // Counting pass first so every per-CPU list is allocated exactly
+    // once at its final size.
+    let mut counts: Vec<usize> = Vec::new();
+    for inst in instances {
         let c = inst.cpu.0 as usize;
-        if c >= per_cpu.len() {
-            per_cpu.resize_with(c + 1, Vec::new);
+        if c >= counts.len() {
+            counts.resize(c + 1, 0);
         }
-        per_cpu[c].push(pos as u32);
+        counts[c] += 1;
+    }
+    let mut per_cpu: Vec<Vec<u32>> = counts.iter().map(|&n| Vec::with_capacity(n)).collect();
+    for (pos, inst) in instances.iter().enumerate() {
+        per_cpu[inst.cpu.0 as usize].push(pos as u32);
     }
     per_cpu
 }
@@ -329,6 +349,25 @@ impl NoiseAnalysis {
         assemble(instances, nesting_report, timelines, tasks, end, workers)
     }
 
+    /// Assemble an analysis from already-reconstructed parts: the
+    /// public seam for drivers that run the pairing state machine
+    /// themselves — e.g. `osn-core`'s store path, which feeds columnar
+    /// chunk cursors through [`crate::ColumnPairing`] and merges the
+    /// shards with [`crate::nesting::merge_shards`]. `instances` must
+    /// be in the reference global order (`(start, cpu, Reverse(end))`)
+    /// and `timelines` built over the same events; given that, the
+    /// result is bit-identical to [`NoiseAnalysis::analyze`].
+    pub fn from_parts(
+        instances: Vec<ActivityInstance>,
+        nesting_report: NestingReport,
+        timelines: Timelines,
+        tasks: &[TaskMeta],
+        end: Nanos,
+        workers: usize,
+    ) -> NoiseAnalysis {
+        assemble(instances, nesting_report, timelines, tasks, end, workers)
+    }
+
     /// The retained sequential reference engine (the pre-sharding seed
     /// path): global reconstruction, single-walk timelines, and the
     /// O(ranks × instances) obstruction gather. Kept as the
@@ -406,7 +445,6 @@ fn assemble(
         .collect();
     let index = InstanceIndex::build(&instances, &apps);
     let running = running_segments(&timelines, index.ncpus());
-    let per_cpu_async = per_cpu_async_positions(&instances, index.ncpus());
 
     let targets: Vec<Tid> = apps
         .into_iter()
@@ -420,7 +458,7 @@ fn assemble(
             tl,
             &instances,
             index.ctx_positions(tid),
-            &per_cpu_async,
+            &index.per_cpu_async,
             &running,
         )
     });
@@ -537,24 +575,39 @@ fn merge_obstructions<'a>(
             cpu,
         });
     }
-    obstructions.sort_by_key(|o| o.interval());
+    // Sort `(start, end, insertion)` key tuples instead of the
+    // obstructions themselves: the third component is unique, so the
+    // unstable sort is deterministic and reproduces the stable
+    // by-interval order the reference uses — at plain-integer
+    // comparison cost, and the 24-byte tuples move instead of the
+    // enums. The gather pushed several already-sorted runs (own-context
+    // per CPU, then ready gaps), which the pattern-defeating sort
+    // exploits.
+    let mut keys: Vec<(Nanos, Nanos, u32)> = obstructions
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            let (s, e) = o.interval();
+            (s, e, i as u32)
+        })
+        .collect();
+    keys.sort_unstable();
 
-    // Merge touching/overlapping obstructions into interruptions.
+    // Merge touching/overlapping obstructions into interruptions. In
+    // sorted order a group is a contiguous key range: its start is the
+    // first key's start and its end the running maximum — no per-group
+    // rescan, no borrowed group vector.
     let mut interruptions: Vec<Interruption> = Vec::new();
-    let mut group: Vec<&Obstruction<'_>> = Vec::new();
-    let mut group_end = Nanos::ZERO;
     // Preemptor-overlap scratch, reused across every gap of this task.
     let mut overlap: Vec<(Tid, Nanos)> = Vec::new();
 
-    let mut flush = |group: &mut Vec<&Obstruction<'_>>, interruptions: &mut Vec<Interruption>| {
-        if group.is_empty() {
-            return;
-        }
-        let start = group.iter().map(|o| o.interval().0).min().unwrap();
-        let end = group.iter().map(|o| o.interval().1).max().unwrap();
+    let flush = |group: &[(Nanos, Nanos, u32)],
+                 end: Nanos,
+                 interruptions: &mut Vec<Interruption>,
+                 overlap: &mut Vec<(Tid, Nanos)>| {
         let mut components: Vec<(Component, Nanos)> = Vec::with_capacity(group.len());
-        for o in group.iter() {
-            match o {
+        for &(_, _, idx) in group {
+            match &obstructions[idx as usize] {
                 Obstruction::OwnContext(inst) => {
                     if !inst.self_time.is_zero() {
                         components.push((Component::Activity(inst.activity), inst.self_time));
@@ -569,7 +622,7 @@ fn merge_obstructions<'a>(
                         instances,
                         per_cpu_async,
                         running,
-                        &mut overlap,
+                        overlap,
                         &mut components,
                     );
                 }
@@ -577,25 +630,37 @@ fn merge_obstructions<'a>(
         }
         interruptions.push(Interruption {
             task: tid,
-            start,
+            start: group[0].0,
             end,
             components,
         });
-        group.clear();
     };
 
-    for o in &obstructions {
-        let (s, e) = o.interval();
-        if group.is_empty() || s <= group_end {
-            group.push(o);
-            group_end = group_end.max(e);
-        } else {
-            flush(&mut group, &mut interruptions);
-            group.push(o);
+    let mut group_at = 0usize;
+    let mut group_end = Nanos::ZERO;
+    for i in 0..keys.len() {
+        let (s, e, _) = keys[i];
+        if i > group_at && s > group_end {
+            flush(
+                &keys[group_at..i],
+                group_end,
+                &mut interruptions,
+                &mut overlap,
+            );
+            group_at = i;
             group_end = e;
+        } else {
+            group_end = group_end.max(e);
         }
     }
-    flush(&mut group, &mut interruptions);
+    if group_at < keys.len() {
+        flush(
+            &keys[group_at..],
+            group_end,
+            &mut interruptions,
+            &mut overlap,
+        );
+    }
 
     let runnable_time = tl.time_where(|p| p.is_runnable());
     let running_time = tl.time_where(|p| p.is_running());

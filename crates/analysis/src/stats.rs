@@ -122,9 +122,7 @@ impl EventStats {
             return EventStats::empty();
         }
         let count = durations.len() as u64;
-        let total: Nanos = durations.iter().copied().sum();
-        let min = durations.iter().copied().min().unwrap();
-        let max = durations.iter().copied().max().unwrap();
+        let (total, min, max) = moments(durations);
         let avg = Nanos(total.as_nanos() / count);
         let freq_per_sec = if wall.is_zero() {
             0.0
@@ -140,6 +138,58 @@ impl EventStats {
             total,
         }
     }
+}
+
+/// The `(total, min, max)` moments of a non-empty duration sample set.
+///
+/// Scalar fold by default; with the `simd` feature the loop runs eight
+/// independent accumulator lanes (explicit unrolling — stable rustc has
+/// no `std::simd`), which the autovectorizer lowers to vector adds and
+/// mins. Results are bit-identical either way: u64 addition is
+/// associative and min/max are order-independent, so lane order does
+/// not matter.
+#[cfg(not(feature = "simd"))]
+fn moments(durations: &[Nanos]) -> (Nanos, Nanos, Nanos) {
+    let mut total = 0u64;
+    let mut min = u64::MAX;
+    let mut max = 0u64;
+    for d in durations {
+        let d = d.as_nanos();
+        total += d;
+        min = min.min(d);
+        max = max.max(d);
+    }
+    (Nanos(total), Nanos(min), Nanos(max))
+}
+
+/// 8-lane variant of [`moments`] (see the scalar doc for the
+/// bit-identity argument).
+#[cfg(feature = "simd")]
+fn moments(durations: &[Nanos]) -> (Nanos, Nanos, Nanos) {
+    const LANES: usize = 8;
+    let mut sum = [0u64; LANES];
+    let mut min = [u64::MAX; LANES];
+    let mut max = [0u64; LANES];
+    let chunks = durations.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for l in 0..LANES {
+            let d = chunk[l].as_nanos();
+            sum[l] += d;
+            min[l] = min[l].min(d);
+            max[l] = max[l].max(d);
+        }
+    }
+    let mut total = sum.iter().sum::<u64>();
+    let mut lo = min.into_iter().min().expect("LANES > 0");
+    let mut hi = max.into_iter().max().expect("LANES > 0");
+    for d in tail {
+        let d = d.as_nanos();
+        total += d;
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (Nanos(total), Nanos(lo), Nanos(hi))
 }
 
 /// Collect the duration samples of an event class across a set of
@@ -372,6 +422,25 @@ mod tests {
             let by_of = EventClass::of(a);
             let by_match = EventClass::ALL.iter().copied().find(|c| c.matches(a));
             assert_eq!(by_of, by_match, "class mismatch for {a}");
+        }
+    }
+
+    #[test]
+    fn moments_match_naive_fold_at_every_length() {
+        // Lengths straddling the 8-lane boundary, pseudorandom values.
+        let mut x = 0x0511_2011_u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 1_000_000
+        };
+        for n in [1usize, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let samples: Vec<Nanos> = (0..n).map(|_| Nanos(next())).collect();
+            let (total, min, max) = moments(&samples);
+            assert_eq!(total, samples.iter().copied().sum::<Nanos>(), "n={n}");
+            assert_eq!(min, samples.iter().copied().min().unwrap(), "n={n}");
+            assert_eq!(max, samples.iter().copied().max().unwrap(), "n={n}");
         }
     }
 

@@ -15,6 +15,12 @@
 //!
 //! Knobs: `OSN_SECS` — simulated seconds per campaign run (default 10);
 //! `OSN_REPS` — timed repetitions, best kept (default 3); `OSN_SEED`.
+//!
+//! The campaign section is additionally merged into `BENCH_PR6.json`
+//! under `analysis_*` keys (plus `aggregate_analysis_events_per_sec`,
+//! total campaign events over total engine seconds) — the columnar
+//! engine's headline throughput, shared with `store_throughput`'s
+//! streaming metrics in the same file.
 
 use std::time::Instant;
 
@@ -244,4 +250,33 @@ fn main() {
     std::fs::write(path, serde_json::to_vec(&report).expect("serializable"))
         .expect("write BENCH_PR3.json");
     println!("wrote {path}");
+
+    // ---- BENCH_PR6.json analysis section (shared with store_throughput). ----
+    let tot_events: usize = report.apps.iter().map(|r| r.events).sum();
+    let aggregate_analysis_events_per_sec = tot_events as f64 / tot_eng;
+    let own = vec![
+        ("analysis_seed".to_string(), serde::Value::U64(seed)),
+        ("analysis_reps".to_string(), serde::Value::U64(reps as u64)),
+        (
+            "analysis_host_workers".to_string(),
+            serde::Value::U64(host_workers as u64),
+        ),
+        ("analysis_apps".to_string(), report.apps.to_value()),
+        (
+            "analysis_aggregate_speedup_vs_reference".to_string(),
+            serde::Value::F64(aggregate_speedup),
+        ),
+        (
+            "aggregate_analysis_events_per_sec".to_string(),
+            serde::Value::F64(aggregate_analysis_events_per_sec),
+        ),
+    ];
+    let pr6 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
+    osn_bench::merge_bench_json(pr6, own, |k| {
+        k.starts_with("analysis") || k == "aggregate_analysis_events_per_sec"
+    });
+    println!(
+        "wrote {pr6} (aggregate {:.1} Mev/s over the campaign)",
+        aggregate_analysis_events_per_sec / 1e6
+    );
 }

@@ -20,7 +20,10 @@ use std::process::ExitCode;
 
 /// Metrics where smaller numbers are better. Everything else
 /// (speedups, MB/s, ratios-vs-raw, nodes/s) is higher-is-better.
-const LOWER_IS_BETTER: &[&str] = &["aggregate_streamed_over_in_memory"];
+const LOWER_IS_BETTER: &[&str] = &[
+    "aggregate_streamed_over_in_memory",
+    "aggregate_streamed_over_resident",
+];
 
 /// Pull the top-level `"aggregate_*": <number>` pairs out of a bench
 /// JSON without a full parser (the vendored serde shim exposes no

@@ -22,6 +22,25 @@ use osn_core::trace::wire;
 use osn_core::workloads::App;
 use osn_core::{run_app, AppRun, ExperimentConfig};
 
+/// Merge one producer's section into a shared bench JSON file
+/// (`BENCH_PR6.json` is written by both `analysis_throughput` and
+/// `store_throughput`): read the existing top-level map if any, drop
+/// the keys this producer owns (`owns` returns true), keep everyone
+/// else's, and write back `own` followed by the kept keys. Key order
+/// is deterministic: each producer's keys stay in the order it emits
+/// them.
+pub fn merge_bench_json(path: &str, own: Vec<(String, serde::Value)>, owns: impl Fn(&str) -> bool) {
+    let mut entries = own;
+    if let Ok(text) = fs::read_to_string(path) {
+        if let Ok(serde::Value::Map(existing)) = serde_json::from_str::<serde::Value>(&text) {
+            entries.extend(existing.into_iter().filter(|(k, _)| !owns(k)));
+        }
+    }
+    let doc = serde::Value::Map(entries);
+    fs::write(path, serde_json::to_vec_pretty(&doc).expect("serializable"))
+        .expect("write bench json");
+}
+
 /// Simulated duration per app run, from `OSN_SECS`.
 pub fn duration() -> Nanos {
     let secs: u64 = std::env::var("OSN_SECS")

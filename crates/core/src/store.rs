@@ -12,11 +12,11 @@
 //!
 //! * [`load_run`] — materialize the trace and re-analyze, recovering a
 //!   full [`AppRun`] (byte-identical analysis to the original run);
-//! * [`streamed_report`] — out-of-core: per-CPU chunk iterators feed
-//!   [`NoiseAnalysis::analyze_streamed`], holding at most one decoded
-//!   chunk per CPU, and report through
-//!   [`AppReport::from_analysis`]. Differentially proven
-//!   bit-identical to the in-memory path.
+//! * [`streamed_report`] — out-of-core: each CPU's chunks decode once,
+//!   columnar and straight off the memory map, into the pairing state
+//!   machine ([`analyze_store`]), holding at most one decoded chunk
+//!   per CPU, and report through [`AppReport::from_analysis`].
+//!   Differentially proven bit-identical to the in-memory path.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -26,8 +26,9 @@ use osn_analysis::NoiseAnalysis;
 use osn_kernel::ids::{CpuId, Tid};
 use osn_kernel::node::{Node, RunResult};
 use osn_store::{read_store, SpillWriter, StoreOptions, StoreReader, StoreSummary, StoreWriter};
+use osn_trace::columns::code as columns_code;
 use osn_trace::session::{EventMask, TraceSession};
-use osn_trace::{Event, EventKind};
+use osn_trace::Event;
 
 use serde::{Deserialize, Serialize};
 
@@ -131,44 +132,64 @@ pub fn load_run(path: &Path) -> io::Result<AppRun> {
     })
 }
 
-/// Is this event consumed by timeline reconstruction?
-#[inline]
-fn is_sched(e: &Event) -> bool {
-    matches!(
-        e.kind,
-        EventKind::SchedSwitch { .. } | EventKind::Wakeup { .. }
-    )
-}
-
-/// Out-of-core analysis of an open store: per-CPU chunk streams feed
-/// the sharded reconstruction directly, so at most one decoded chunk
-/// per CPU is resident (`reader.stats()` proves the bound). The
-/// scheduler-event subset for timelines is collected in a separate
-/// single pass — it is a tiny fraction of the trace.
+/// Out-of-core analysis of an open store, single-decode and columnar:
+/// each CPU's chunks are decoded exactly once — straight out of the
+/// memory map — into a reused [`osn_trace::EventColumns`] block that
+/// feeds both the enter/exit pairing state machine
+/// ([`osn_analysis::ColumnPairing`]) and the scheduler-event extraction
+/// for timelines, so at most one decoded chunk per CPU is resident
+/// (`reader.stats()` proves the bound) and no full `Event` stream is
+/// ever materialized.
 ///
 /// Output is bit-identical to `NoiseAnalysis::analyze` on the
-/// materialized trace: per-CPU streams are identical, and the
-/// scheduler filter commutes with the `(t, cpu)` merge.
+/// materialized trace: per-CPU chunk sequences replay each CPU's
+/// stream exactly, pairing per CPU plus the reference shard merge
+/// reproduces the global instance order, and the scheduler filter
+/// commutes with the `(t, cpu)` merge.
 pub fn analyze_store(reader: &StoreReader, result: &RunResult) -> io::Result<NoiseAnalysis> {
     let errors_before = reader.stats().decode_errors;
     let ncpus = reader.ncpus();
-
-    // Sched events per CPU are time-ordered; a stable sort on the
-    // merge key reproduces the k-way `(t, cpu)` merge exactly.
-    let mut sched: Vec<Event> = Vec::new();
-    for c in 0..ncpus {
-        sched.extend(reader.cpu_stream(CpuId(c as u16)).filter(is_sched));
-    }
-    sched.sort_by_key(|e| e.key());
-
-    let streams = (0..ncpus)
-        .map(|c| reader.cpu_stream(CpuId(c as u16)))
-        .collect();
     let workers = osn_analysis::default_workers(ncpus.max(result.tasks.len()));
-    let analysis =
-        NoiseAnalysis::analyze_streamed(streams, &sched, &result.tasks, result.end_time, workers);
 
-    // Streams poison (end early) on a corrupt chunk; surface that as
+    let per_cpu = osn_analysis::parallel_map(ncpus, workers, |c| {
+        let mut pairing = osn_analysis::ColumnPairing::new();
+        let mut sched: Vec<Event> = Vec::new();
+        let mut cursor = reader.column_chunks(CpuId(c as u16));
+        while let Some(block) = cursor.next_chunk() {
+            // A corrupt chunk poisons the cursor (recorded in
+            // `stats().decode_errors`, surfaced below); analyze what
+            // decoded so the error path still terminates cleanly.
+            let Ok(cols) = block else { break };
+            pairing.feed_columns(cols);
+            for i in 0..cols.len() {
+                let code = cols.code[i];
+                if code == columns_code::SWITCH || code == columns_code::WAKEUP {
+                    sched.push(cols.event(i));
+                }
+            }
+        }
+        let (instances, report) = pairing.finish();
+        ((instances, report), sched)
+    });
+    let (shards, sched_streams): (Vec<_>, Vec<_>) = per_cpu.into_iter().unzip();
+    let (instances, nesting_report) = osn_analysis::nesting::merge_shards(shards);
+    let sched = osn_trace::merge_streams(sched_streams);
+    let timelines = osn_analysis::timeline::build_timelines_events(
+        &sched,
+        &result.tasks,
+        result.end_time,
+        workers,
+    );
+    let analysis = NoiseAnalysis::from_parts(
+        instances,
+        nesting_report,
+        timelines,
+        &result.tasks,
+        result.end_time,
+        workers,
+    );
+
+    // Cursors poison (end early) on a corrupt chunk; surface that as
     // an error instead of a silently truncated analysis.
     let errors = reader.stats().decode_errors - errors_before;
     if errors > 0 {

@@ -133,3 +133,52 @@ fn streamed_analysis_matches_in_memory() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Byte-identity must not depend on how the stream is cut into chunks.
+/// Capacity 1 puts every event in its own chunk (maximal pairing
+/// resumption across chunk boundaries), 2 exercises odd/even splits of
+/// enter/exit pairs, and 63 lands chunk cuts at arbitrary offsets
+/// inside nests. All three must serialize to the same report as the
+/// in-memory path — and as each other.
+#[test]
+fn chunk_capacity_does_not_change_the_report() {
+    let config = CampaignConfig {
+        apps: vec![App::Sphot],
+        duration: Nanos::from_millis(120),
+        seed: 0x0511_2011,
+        nranks: Some(2),
+        cpus: Some(2),
+    };
+    let runs = run_campaign(&config);
+    let run = &runs[0];
+    let in_memory = serde_json::to_string(&AppReport::build_with(run, &run.analysis)).unwrap();
+    let dir = tmpdir("capacity");
+
+    for capacity in [1usize, 2, 63] {
+        let path = dir.join(format!("sphot-{capacity}.osn"));
+        let opts = Options::default().with_chunk_capacity(capacity);
+        store::persist_run(run, &path, opts).unwrap();
+
+        let reader = store::Reader::open(&path).unwrap();
+        assert!(
+            reader.chunks().len() as u64 >= reader.events() / capacity as u64,
+            "capacity {capacity}: chunking did not take effect"
+        );
+        let meta = osn_core::StoredRunMeta::from_bytes(reader.metadata()).unwrap();
+        let streamed = store::analyze_store(&reader, &meta.result).unwrap();
+        assert_eq!(reader.stats().decode_errors, 0);
+        let report = AppReport::from_analysis(
+            meta.config.app,
+            &meta.ranks,
+            meta.config.node.net_irq_cpu,
+            &streamed,
+        );
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            in_memory,
+            "capacity {capacity}: streamed report differs from in-memory"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,7 +19,7 @@
 use osn_kernel::ids::CpuId;
 use osn_kernel::time::Nanos;
 use osn_trace::wire::{fnv1a64, pack_record, unpack_record};
-use osn_trace::Event;
+use osn_trace::{Event, EventColumns};
 
 use crate::varint::{get_uvarint, put_uvarint};
 use crate::StoreError;
@@ -226,6 +226,73 @@ pub fn decode_chunk(meta: &ChunkMeta, payload: &[u8]) -> Result<Vec<Event>, Stor
     Ok(events)
 }
 
+/// Decode a chunk payload straight into columnar storage, reusing
+/// `out`'s capacity (the zero-copy analysis path: the payload slice
+/// normally points into the reader's memory map).
+///
+/// Validation is exactly [`decode_chunk`]'s — length, varint
+/// structure, timestamp monotonicity/overflow, field widths, record
+/// well-formedness via [`unpack_record`], exact payload consumption,
+/// span agreement — so downstream column consumers may assume every
+/// record decodes ([`EventColumns`]'s accessor contract). Only the
+/// final representation differs: five flat vecs instead of `Event`
+/// structs.
+pub fn decode_chunk_columns(
+    meta: &ChunkMeta,
+    payload: &[u8],
+    out: &mut EventColumns,
+) -> Result<(), StoreError> {
+    let corrupt = |reason: &'static str| StoreError::CorruptChunk {
+        offset: meta.offset,
+        reason,
+    };
+    out.cpu = CpuId(meta.cpu);
+    out.clear();
+    if payload.len() != meta.payload_len as usize {
+        return Err(corrupt("payload length mismatch"));
+    }
+    let count = meta.count as usize;
+    out.reserve(count);
+    if meta.compressed() {
+        let mut pos = 0usize;
+        let mut prev = meta.t_first.0;
+        for _ in 0..count {
+            let mut next = || get_uvarint(payload, &mut pos).ok_or(corrupt("truncated varint"));
+            let dt = next()?;
+            let code = next()?;
+            let tid = next()?;
+            let a = next()?;
+            let b = next()?;
+            let t = prev.checked_add(dt).ok_or(corrupt("timestamp overflow"))?;
+            prev = t;
+            let code = u16::try_from(code).map_err(|_| corrupt("record code overflow"))?;
+            let tid = u32::try_from(tid).map_err(|_| corrupt("tid overflow"))?;
+            unpack_record(code, tid, a, b)?;
+            out.push_raw(t, code, tid, a, b);
+        }
+        if pos != payload.len() {
+            return Err(corrupt("trailing payload bytes"));
+        }
+    } else {
+        if payload.len() != count * RAW_RECORD_BYTES {
+            return Err(corrupt("raw payload size mismatch"));
+        }
+        for rec in payload.chunks_exact(RAW_RECORD_BYTES) {
+            let t = u64::from_le_bytes(rec[0..8].try_into().unwrap());
+            let code = u16::from_le_bytes(rec[8..10].try_into().unwrap());
+            let tid = u32::from_le_bytes(rec[10..14].try_into().unwrap());
+            let a = u64::from_le_bytes(rec[14..22].try_into().unwrap());
+            let b = u64::from_le_bytes(rec[22..30].try_into().unwrap());
+            unpack_record(code, tid, a, b)?;
+            out.push_raw(t, code, tid, a, b);
+        }
+    }
+    if out.t.first() != Some(&meta.t_first.0) || out.t.last() != Some(&meta.t_last.0) {
+        return Err(corrupt("span disagrees with header"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +360,40 @@ mod tests {
     fn parse_rejects_garbage() {
         let zero = [0u8; CHUNK_HEADER_BYTES];
         assert!(ChunkHeader::parse(&zero).is_err());
+    }
+
+    #[test]
+    fn columns_match_events_both_codecs() {
+        for compress in [false, true] {
+            let events = sample(2);
+            let mut out = Vec::new();
+            let header = encode_chunk(&events, 2, compress, &mut out);
+            let meta = ChunkMeta::from_header(0, &header);
+            let mut cols = EventColumns::new(CpuId(0));
+            decode_chunk_columns(&meta, &out, &mut cols).unwrap();
+            assert_eq!(cols.cpu, CpuId(2));
+            let typed: Vec<Event> = cols.events().collect();
+            assert_eq!(typed, decode_chunk(&meta, &out).unwrap());
+        }
+    }
+
+    #[test]
+    fn columns_decoder_rejects_what_event_decoder_rejects() {
+        let events = sample(0);
+        let mut payload = Vec::new();
+        let header = encode_chunk(&events, 0, true, &mut payload);
+        let meta = ChunkMeta::from_header(0, &header);
+        let mut cols = EventColumns::new(CpuId(0));
+        // Truncations at every byte boundary: both decoders must agree
+        // that the payload is bad, with a typed error, never a panic.
+        for cut in 0..payload.len() {
+            let sliced = &payload[..cut];
+            assert!(decode_chunk(&meta, sliced).is_err(), "events cut={cut}");
+            assert!(
+                decode_chunk_columns(&meta, sliced, &mut cols).is_err(),
+                "columns cut={cut}"
+            );
+        }
     }
 
     #[test]

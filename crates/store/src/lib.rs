@@ -32,6 +32,7 @@
 //! its events to the per-CPU loss counters.
 
 pub mod chunk;
+pub mod mmap;
 pub mod reader;
 pub mod varint;
 pub mod writer;

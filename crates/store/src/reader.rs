@@ -13,9 +13,12 @@ use std::sync::Arc;
 use osn_kernel::ids::CpuId;
 use osn_kernel::time::Nanos;
 use osn_trace::wire::fnv1a64;
-use osn_trace::{Event, Trace};
+use osn_trace::{Event, EventColumns, Trace};
 
-use crate::chunk::{decode_chunk, ChunkHeader, ChunkMeta, CHUNK_HEADER_BYTES};
+use crate::chunk::{
+    decode_chunk, decode_chunk_columns, ChunkHeader, ChunkMeta, CHUNK_HEADER_BYTES,
+};
+use crate::mmap::Mmap;
 use crate::{
     StoreError, END_MAGIC, FILE_HEADER_BYTES, FILE_MAGIC, FOOTER_MAGIC, STORE_VERSION,
     TRAILER_BYTES,
@@ -98,6 +101,48 @@ struct FileHeader {
     chunk_capacity: usize,
 }
 
+/// The opened file plus its (optional) read-only memory map, shared by
+/// the reader and every cursor it hands out.
+///
+/// When the map is present, chunk images are borrowed straight out of
+/// the mapped file — header parse, checksum, and payload decode all
+/// run over the mapped bytes with no intermediate copy. When mapping
+/// fails (exotic filesystems, resource limits) every access falls back
+/// to bounded `pread`s into a scratch buffer, preserving the
+/// bounded-memory contract rather than slurping the file into RAM.
+#[derive(Debug)]
+struct StoreData {
+    file: File,
+    map: Option<Mmap>,
+}
+
+impl StoreData {
+    /// The raw bytes of one chunk (header + payload): a zero-copy
+    /// slice of the memory map when available, otherwise a `pread`
+    /// into `scratch`.
+    fn chunk_bytes<'a>(
+        &'a self,
+        meta: &ChunkMeta,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], StoreError> {
+        let len = CHUNK_HEADER_BYTES + meta.payload_len as usize;
+        let start = meta.offset as usize;
+        if let Some(map) = &self.map {
+            if let Some(bytes) = map.as_slice().get(start..start + len) {
+                return Ok(bytes);
+            }
+            return Err(StoreError::CorruptChunk {
+                offset: meta.offset,
+                reason: "chunk beyond mapped file",
+            });
+        }
+        scratch.clear();
+        scratch.resize(len, 0);
+        self.file.read_exact_at(scratch, meta.offset)?;
+        Ok(scratch)
+    }
+}
+
 struct Footer {
     lost: Vec<u64>,
     meta: Vec<u8>,
@@ -106,7 +151,7 @@ struct Footer {
 
 /// Random-access view of a store file.
 pub struct StoreReader {
-    file: Arc<File>,
+    data: Arc<StoreData>,
     ncpus: usize,
     chunk_capacity: usize,
     lost: Vec<u64>,
@@ -128,6 +173,13 @@ impl StoreReader {
         let header = read_file_header(&file)?;
         let footer = parse_footer(&file, file_len, header.ncpus)?;
         Self::assemble(file, header, footer.lost, footer.meta, footer.chunks)
+    }
+
+    /// Whether chunk reads are served from a memory map (false only
+    /// when `mmap` failed at open and the reader fell back to `pread`).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.data.map.is_some()
     }
 
     /// Open a possibly torn store by scanning chunks forward from the
@@ -233,8 +285,12 @@ impl StoreReader {
             }
             per_cpu[c].push(i as u32);
         }
+        // Map the file for zero-copy chunk access; fall back to pread
+        // silently if the platform refuses (the map is an optimization,
+        // not a correctness requirement).
+        let map = Mmap::map(&file).ok();
         Ok(StoreReader {
-            file: Arc::new(file),
+            data: Arc::new(StoreData { file, map }),
             ncpus: header.ncpus,
             chunk_capacity: header.chunk_capacity,
             lost,
@@ -320,7 +376,7 @@ impl StoreReader {
 
     /// Fetch and decode one chunk (random access; checksum-verified).
     pub fn read_chunk(&self, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> {
-        let events = fetch_chunk(&self.file, meta)?;
+        let events = fetch_chunk(&self.data, meta)?;
         self.stats.decoded.fetch_add(1, Ordering::AcqRel);
         Ok(events)
     }
@@ -332,12 +388,34 @@ impl StoreReader {
     pub fn cpu_stream(&self, cpu: CpuId) -> CpuStream {
         let metas: Vec<ChunkMeta> = self.chunks_for(cpu, None).copied().collect();
         CpuStream {
-            file: Arc::clone(&self.file),
+            data: Arc::clone(&self.data),
             metas,
             next_chunk: 0,
             buf: Vec::new(),
             pos: 0,
             resident: false,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// A bounded-memory *columnar* cursor over one CPU's chunks: each
+    /// call to [`ColumnChunks::next_chunk`] decodes the next chunk —
+    /// straight out of the memory map when available — into a reused
+    /// [`EventColumns`] block. This is the zero-copy analysis path: no
+    /// `Event` structs are materialized, and one block's worth of
+    /// columns is the only resident decoded state (tracked by the
+    /// reader's [`ChunkStats`], same contract as
+    /// [`StoreReader::cpu_stream`]).
+    pub fn column_chunks(&self, cpu: CpuId) -> ColumnChunks {
+        let metas: Vec<ChunkMeta> = self.chunks_for(cpu, None).copied().collect();
+        ColumnChunks {
+            data: Arc::clone(&self.data),
+            metas,
+            next: 0,
+            cols: EventColumns::new(cpu),
+            scratch: Vec::new(),
+            resident: false,
+            poisoned: false,
             stats: Arc::clone(&self.stats),
         }
     }
@@ -367,7 +445,7 @@ impl StoreReader {
 /// A bounded-memory iterator over one CPU's stored events. See
 /// [`StoreReader::cpu_stream`].
 pub struct CpuStream {
-    file: Arc<File>,
+    data: Arc<StoreData>,
     metas: Vec<ChunkMeta>,
     next_chunk: usize,
     buf: Vec<Event>,
@@ -413,7 +491,7 @@ impl Iterator for CpuStream {
             }
             let meta = self.metas[self.next_chunk];
             self.next_chunk += 1;
-            match fetch_chunk(&self.file, &meta) {
+            match fetch_chunk(&self.data, &meta) {
                 Ok(events) => {
                     self.stats.decoded.fetch_add(1, Ordering::AcqRel);
                     self.stats.acquire();
@@ -439,14 +517,77 @@ impl Drop for CpuStream {
     }
 }
 
-/// Read, verify, and decode one chunk from the file.
-fn fetch_chunk(file: &File, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> {
+/// A bounded-memory columnar cursor over one CPU's chunks. See
+/// [`StoreReader::column_chunks`].
+pub struct ColumnChunks {
+    data: Arc<StoreData>,
+    metas: Vec<ChunkMeta>,
+    next: usize,
+    cols: EventColumns,
+    scratch: Vec<u8>,
+    resident: bool,
+    poisoned: bool,
+    stats: Arc<ChunkStats>,
+}
+
+impl ColumnChunks {
+    /// Total events across the chunks not yet decoded.
+    pub fn remaining_events(&self) -> u64 {
+        self.metas[self.next..].iter().map(|m| m.count as u64).sum()
+    }
+
+    /// Decode the next chunk into the reused column block and lend it
+    /// out. `None` when the CPU's chunks are exhausted; an `Err` item
+    /// (recorded in `stats().decode_errors`) ends the cursor — later
+    /// calls return `None`.
+    #[allow(clippy::should_implement_trait)] // lending cursor, not an Iterator
+    pub fn next_chunk(&mut self) -> Option<Result<&EventColumns, StoreError>> {
+        if self.resident {
+            self.stats.release();
+            self.resident = false;
+        }
+        if self.poisoned || self.next >= self.metas.len() {
+            return None;
+        }
+        let meta = self.metas[self.next];
+        self.next += 1;
+        let step = || -> Result<(), StoreError> {
+            let raw = self.data.chunk_bytes(&meta, &mut self.scratch)?;
+            let payload = verify_chunk(raw, &meta)?;
+            decode_chunk_columns(&meta, payload, &mut self.cols)
+        }();
+        match step {
+            Ok(()) => {
+                self.stats.decoded.fetch_add(1, Ordering::AcqRel);
+                self.stats.acquire();
+                self.resident = true;
+                Some(Ok(&self.cols))
+            }
+            Err(e) => {
+                self.stats.decode_errors.fetch_add(1, Ordering::AcqRel);
+                self.poisoned = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl Drop for ColumnChunks {
+    fn drop(&mut self) {
+        if self.resident {
+            self.stats.release();
+            self.resident = false;
+        }
+    }
+}
+
+/// Parse, cross-check, and checksum-verify one chunk image, returning
+/// its payload bytes.
+fn verify_chunk<'a>(raw: &'a [u8], meta: &ChunkMeta) -> Result<&'a [u8], StoreError> {
     let corrupt = |reason: &'static str| StoreError::CorruptChunk {
         offset: meta.offset,
         reason,
     };
-    let mut raw = vec![0u8; CHUNK_HEADER_BYTES + meta.payload_len as usize];
-    file.read_exact_at(&mut raw, meta.offset)?;
     let header_bytes: &[u8; CHUNK_HEADER_BYTES] = raw[..CHUNK_HEADER_BYTES].try_into().unwrap();
     let header = ChunkHeader::parse(header_bytes).map_err(corrupt)?;
     let on_disk = ChunkMeta::from_header(meta.offset, &header);
@@ -457,6 +598,14 @@ fn fetch_chunk(file: &File, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> 
     if fnv1a64(payload) != header.checksum {
         return Err(corrupt("payload checksum mismatch"));
     }
+    Ok(payload)
+}
+
+/// Read, verify, and decode one chunk from the file (or map).
+fn fetch_chunk(data: &StoreData, meta: &ChunkMeta) -> Result<Vec<Event>, StoreError> {
+    let mut scratch = Vec::new();
+    let raw = data.chunk_bytes(meta, &mut scratch)?;
+    let payload = verify_chunk(raw, meta)?;
     decode_chunk(meta, payload)
 }
 

@@ -121,6 +121,21 @@ proptest! {
                 trace.cpu_events(CpuId(c as u16)).copied().collect();
             prop_assert_eq!(streamed, direct);
         }
+
+        // The columnar cursor decodes to the same records, and every
+        // block already carries the right CPU id.
+        for c in 0..reader.ncpus() {
+            let mut cursor = reader.column_chunks(CpuId(c as u16));
+            let mut columnar: Vec<Event> = Vec::new();
+            while let Some(block) = cursor.next_chunk() {
+                let block = block.expect("valid store");
+                prop_assert_eq!(block.cpu, CpuId(c as u16));
+                columnar.extend(block.events());
+            }
+            let direct: Vec<Event> =
+                trace.cpu_events(CpuId(c as u16)).copied().collect();
+            prop_assert_eq!(columnar, direct);
+        }
         let _ = std::fs::remove_file(&path);
     }
 

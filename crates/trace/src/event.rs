@@ -4,6 +4,8 @@
 use osn_kernel::activity::{Activity, SoftirqVec};
 use osn_kernel::hooks::SwitchState;
 use osn_kernel::ids::{CpuId, Tid};
+
+use crate::columns::EventColumns;
 use osn_kernel::time::Nanos;
 
 use serde::{Deserialize, Serialize};
@@ -54,13 +56,21 @@ impl Event {
 }
 
 /// A complete collected trace: events in global `(t, cpu)` order plus
-/// loss accounting and per-CPU / per-context position indexes.
+/// loss accounting, per-CPU / per-context position indexes, and
+/// per-CPU [`EventColumns`] blocks.
 ///
-/// The indexes are built once at construction (or inherited from the
-/// k-way collection merge) so that per-CPU and per-context iteration —
-/// the access patterns of the sharded analysis engine — cost O(own
-/// events) instead of a filter over the whole trace.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+/// The indexes and columns are built once at construction (or
+/// inherited from the k-way collection merge) so that per-CPU and
+/// per-context iteration — the access patterns of the sharded analysis
+/// engine — cost O(own events) instead of a filter over the whole
+/// trace, and the reconstruction hot loop can run over flat
+/// structure-of-arrays columns instead of gathering 32-byte `Event`
+/// structs through a position index.
+///
+/// Serde round-trips only `(events, lost)` — the derived indexes and
+/// columns are rebuilt on deserialize, so they can never go stale or
+/// bloat a serialized image.
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     pub events: Vec<Event>,
     /// Records dropped per CPU because its ring buffer was full
@@ -74,27 +84,60 @@ pub struct Trace {
     /// Positions of each context tid's records, sorted by tid for
     /// binary-search lookup.
     ctx_index: CtxIndex,
+    /// Per-CPU columnar blocks, same records as `cpu_index` points at.
+    columns: Vec<EventColumns>,
+}
+
+/// The serialized shape of [`Trace`]: just the collected data, no
+/// derived indexes.
+#[derive(Serialize, Deserialize)]
+struct TraceWire {
+    events: Vec<Event>,
+    lost: Vec<u64>,
+}
+
+impl Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("events".to_string(), self.events.to_value()),
+            ("lost".to_string(), self.lost.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> Result<Trace, serde::DeError> {
+        let w = TraceWire::from_value(v)?;
+        Ok(Trace::from_raw_parts(w.events, w.lost))
+    }
 }
 
 /// Positions of each context tid's records, sorted by tid.
 type CtxIndex = Vec<(Tid, Vec<u32>)>;
 
-fn build_indexes(events: &[Event], ncpus_hint: usize) -> (usize, Vec<Vec<u32>>, CtxIndex) {
+fn build_indexes(
+    events: &[Event],
+    ncpus_hint: usize,
+) -> (usize, Vec<Vec<u32>>, CtxIndex, Vec<EventColumns>) {
     let mut cpu_index: Vec<Vec<u32>> = Vec::with_capacity(ncpus_hint);
+    let mut columns: Vec<EventColumns> = Vec::with_capacity(ncpus_hint);
     let mut by_ctx: std::collections::HashMap<Tid, Vec<u32>> = std::collections::HashMap::new();
     for (pos, e) in events.iter().enumerate() {
         let cpu = e.cpu.index();
         if cpu >= cpu_index.len() {
             cpu_index.resize_with(cpu + 1, Vec::new);
+            columns.extend((columns.len()..=cpu).map(|c| EventColumns::new(CpuId(c as u16))));
         }
         cpu_index[cpu].push(pos as u32);
+        columns[cpu].push_event(e);
         by_ctx.entry(e.tid).or_default().push(pos as u32);
     }
     let ncpus = ncpus_hint.max(cpu_index.len());
     cpu_index.resize_with(ncpus, Vec::new);
+    columns.extend((columns.len()..ncpus).map(|c| EventColumns::new(CpuId(c as u16))));
     let mut ctx_index: Vec<(Tid, Vec<u32>)> = by_ctx.into_iter().collect();
     ctx_index.sort_unstable_by_key(|(tid, _)| tid.0);
-    (ncpus, cpu_index, ctx_index)
+    (ncpus, cpu_index, ctx_index, columns)
 }
 
 impl Trace {
@@ -109,13 +152,14 @@ impl Trace {
     /// Build a trace without asserting global `(t, cpu)` order (wire
     /// decoding must round-trip arbitrary event vectors losslessly).
     pub fn from_raw_parts(events: Vec<Event>, lost: Vec<u64>) -> Self {
-        let (ncpus, cpu_index, ctx_index) = build_indexes(&events, lost.len());
+        let (ncpus, cpu_index, ctx_index, columns) = build_indexes(&events, lost.len());
         Trace {
             events,
             lost,
             ncpus,
             cpu_index,
             ctx_index,
+            columns,
         }
     }
 
@@ -125,13 +169,15 @@ impl Trace {
     pub fn from_streams(streams: Vec<Vec<Event>>, lost: Vec<u64>) -> Self {
         let nstreams = streams.len();
         let events = crate::merge::merge_streams(streams);
-        let (ncpus, cpu_index, ctx_index) = build_indexes(&events, lost.len().max(nstreams));
+        let (ncpus, cpu_index, ctx_index, columns) =
+            build_indexes(&events, lost.len().max(nstreams));
         Trace {
             events,
             lost,
             ncpus,
             cpu_index,
             ctx_index,
+            columns,
         }
     }
 
@@ -169,6 +215,14 @@ impl Trace {
         self.cpu_positions(cpu)
             .iter()
             .map(move |&p| &self.events[p as usize])
+    }
+
+    /// One CPU's records as columnar [`EventColumns`], in stream order
+    /// — the zero-gather input of the reconstruction hot loop. Empty
+    /// block for CPUs beyond the trace's range.
+    #[inline]
+    pub fn cpu_columns(&self, cpu: CpuId) -> Option<&EventColumns> {
+        self.columns.get(cpu.index())
     }
 
     /// Positions (into `events`) of one task context's records.

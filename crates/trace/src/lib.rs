@@ -20,6 +20,7 @@
 //! assert_eq!(trace.total_lost(), 0);
 //! ```
 
+pub mod columns;
 pub mod event;
 pub mod flight;
 pub mod merge;
@@ -28,6 +29,7 @@ pub mod ringbuf;
 pub mod session;
 pub mod wire;
 
+pub use columns::EventColumns;
 pub use event::{Event, EventKind, Trace};
 pub use flight::FlightRecorder;
 pub use merge::merge_streams;

@@ -84,14 +84,25 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-mod code {
+/// Record codes of the `(code, tid, a, b)` wire tuple. Public so
+/// columnar consumers ([`crate::columns::EventColumns`]) can dispatch
+/// on the raw code column without rebuilding [`EventKind`] values.
+pub mod code {
+    /// `KernelEnter` — `a` is the activity code.
     pub const ENTER: u16 = 1;
+    /// `KernelExit` — `a` is the activity code.
     pub const EXIT: u16 = 2;
+    /// `SoftirqRaise` — `a` is the softirq's activity code.
     pub const RAISE: u16 = 3;
+    /// `SchedSwitch` — `tid` is prev, `a` packs `(prev_state, next)`.
     pub const SWITCH: u16 = 4;
+    /// `Wakeup` — `tid` is the woken task, `a` the waker.
     pub const WAKEUP: u16 = 5;
+    /// `Migrate` — `tid` is the task, `a` packs `(from, to)`.
     pub const MIGRATE: u16 = 6;
+    /// `AppMark` — `a` is the mark, `b` the value.
     pub const MARK: u16 = 7;
+    /// `TaskExit` — `tid` is the exiting task.
     pub const TASK_EXIT: u16 = 8;
 }
 

@@ -38,9 +38,18 @@ run_bench() {
     rm -f "$log"
 }
 
+# Columnar-path smoke (before the published runs, which overwrite the
+# BENCH jsons with real numbers): a tiny campaign with 256-event
+# chunks drives the mmap'd columnar cursors across many chunk
+# boundaries; every rep asserts the streamed report is byte-identical
+# to the in-memory one, so a release-profile-only divergence in the
+# columnar decode or pairing resumption fails here.
+echo "== bench_smoke: columnar store path (small chunks)"
+OSN_SECS=1 OSN_REPS=1 OSN_CHUNK_CAP=256 run_bench store_throughput
+
 run_bench engine_throughput
 run_bench analysis_throughput
 run_bench store_throughput
 run_bench cluster_throughput
 
-echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json)"
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json)"

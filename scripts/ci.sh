@@ -46,6 +46,7 @@ run_step() {
 run_step fmt cargo fmt --check
 run_step clippy cargo clippy --offline --no-deps --all-targets "${FIRST_PARTY[@]}" -- -D warnings
 run_step test cargo test -q --offline
+run_step test-simd cargo test -q --offline -p osn-analysis --features simd
 run_step doc-test cargo test -q --offline --doc
 run_step doc-lint env RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps "${FIRST_PARTY[@]}"
 
