@@ -29,11 +29,95 @@
 //! [`ScaleModel`]: https://docs.rs/osn-core
 
 use osn_kernel::activity::NoiseCategory;
+use osn_kernel::rng::derive_indexed_seed;
 use osn_kernel::time::Nanos;
 
 use serde::{Deserialize, Serialize};
 
 use crate::chart::NoiseChart;
+
+/// Cluster-tier injected fault classes — the attribution rows the
+/// barrier decomposition reports alongside the kernel noise categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedClass {
+    /// Node crash + restart: the rank freezes for an outage window.
+    Crash,
+    /// Persistent straggler: the rank's compute demand is scaled up.
+    Straggler,
+    /// Network partition: barrier arrivals inside a window are delayed.
+    Partition,
+    /// Network jitter: per-phase random delay on barrier arrival.
+    Jitter,
+}
+
+impl InjectedClass {
+    /// Canonical order, the shape of every injected-attribution vector.
+    pub const ALL: [InjectedClass; 4] = [
+        InjectedClass::Crash,
+        InjectedClass::Straggler,
+        InjectedClass::Partition,
+        InjectedClass::Jitter,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            InjectedClass::Crash => "crash",
+            InjectedClass::Straggler => "straggler",
+            InjectedClass::Partition => "partition",
+            InjectedClass::Jitter => "jitter",
+        }
+    }
+}
+
+/// A network-partition delay window: barrier arrivals landing inside
+/// `[start, end)` of the collective wall clock are held back by
+/// `delay`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DelayWindow {
+    pub start: Nanos,
+    pub end: Nanos,
+    pub delay: Nanos,
+}
+
+/// Deterministic injected faults on one rank. Everything here is a
+/// pure function of the value itself plus the phase index — no stream
+/// state — so the coupled run stays byte-identical across host worker
+/// counts, and an empty value changes nothing at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankFaults {
+    /// Compute-demand multiplier (persistent straggler); 1.0 = none.
+    pub slow_factor: f64,
+    /// Crash/restart outages `[start, end)` on the collective wall
+    /// clock: the rank makes no progress inside them.
+    pub outages: Vec<(Nanos, Nanos)>,
+    /// Partition windows delaying barrier arrival.
+    pub delays: Vec<DelayWindow>,
+    /// Mean of the per-phase exponential arrival jitter (zero = off).
+    pub jitter_mean: Nanos,
+    /// Seed of the jitter hash (derive per rank so ranks decorrelate).
+    pub jitter_seed: u64,
+}
+
+impl Default for RankFaults {
+    fn default() -> Self {
+        RankFaults {
+            slow_factor: 1.0,
+            outages: Vec::new(),
+            delays: Vec::new(),
+            jitter_mean: Nanos::ZERO,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RankFaults {
+    pub fn is_empty(&self) -> bool {
+        self.slow_factor == 1.0
+            && self.outages.is_empty()
+            && self.delays.is_empty()
+            && self.jitter_mean.is_zero()
+    }
+}
 
 /// One rank's noise input to the coupled run: its node's synthetic
 /// noise chart and the time up to which that chart is valid.
@@ -49,6 +133,8 @@ pub struct RankSeries {
     /// across ranks (offset 0 on every rank reproduces the perfectly
     /// co-scheduled cluster, where periodic noise does not amplify).
     pub start: Nanos,
+    /// Injected cluster-tier faults (default: none).
+    pub faults: RankFaults,
 }
 
 impl RankSeries {
@@ -57,11 +143,19 @@ impl RankSeries {
             chart,
             horizon,
             start: Nanos::ZERO,
+            faults: RankFaults::default(),
         }
     }
 
     pub fn with_start(mut self, start: Nanos) -> RankSeries {
         self.start = start;
+        self
+    }
+
+    pub fn with_faults(mut self, mut faults: RankFaults) -> RankSeries {
+        // Outage walks assume start order.
+        faults.outages.sort_unstable();
+        self.faults = faults;
         self
     }
 }
@@ -112,6 +206,10 @@ pub struct PhaseOutcome {
     /// Noise-category decomposition of the critical rank's window
     /// noise, canonical category order, zero entries kept.
     pub critical_by_category: Vec<(NoiseCategory, Nanos)>,
+    /// Injected-fault decomposition of the critical rank's duration,
+    /// canonical [`InjectedClass::ALL`] order, zero entries kept (all
+    /// zero when no faults are configured).
+    pub critical_injected: Vec<(InjectedClass, Nanos)>,
 }
 
 impl PhaseOutcome {
@@ -162,6 +260,64 @@ fn solve_phase(series: &RankSeries, cursor: usize, t: Nanos, g: Nanos) -> (Nanos
         i = j;
         e = g + w;
     }
+}
+
+/// Earliest wall time at which a rank that starts `busy` nanoseconds
+/// of work at `t` finishes, given that it is frozen inside `outages`
+/// (sorted by start). Work done before an outage carries over; the
+/// rank resumes where it left off after each outage — the
+/// crash-and-restart-from-checkpoint semantics.
+fn arrival_through_outages(outages: &[(Nanos, Nanos)], t: Nanos, busy: Nanos) -> Nanos {
+    let mut cur = t;
+    let mut left = busy;
+    for (s, e) in outages {
+        if *e <= cur {
+            continue;
+        }
+        if *s > cur {
+            let slice = *s - cur;
+            if slice >= left {
+                return cur + left;
+            }
+            left -= slice;
+            cur = *s;
+        }
+        cur = (*e).max(cur);
+    }
+    cur + left
+}
+
+/// The per-phase injected delays of one rank: `(total extra,
+/// per-class decomposition)` for a phase starting at wall time `t`
+/// whose fault-free duration is `e`.
+fn injected_extras(faults: &RankFaults, t: Nanos, e: Nanos, phase: usize) -> (Nanos, [Nanos; 4]) {
+    if faults.is_empty() {
+        return (Nanos::ZERO, [Nanos::ZERO; 4]);
+    }
+    // Straggler: extra compute demand is already folded into `e` by
+    // the caller (via the scaled granularity); it reports the class
+    // share separately, so here we only handle the wall-clock faults.
+    let crash = arrival_through_outages(&faults.outages, t, e).saturating_sub(t + e);
+    let mut partition = Nanos::ZERO;
+    let arrival = t + e + crash;
+    for w in &faults.delays {
+        if arrival >= w.start && arrival < w.end {
+            partition += w.delay;
+        }
+    }
+    let jitter = if faults.jitter_mean.is_zero() {
+        Nanos::ZERO
+    } else {
+        // Pure hash → inverse-CDF exponential: deterministic for a
+        // (seed, phase) pair, no stream state to order across ranks.
+        let bits = derive_indexed_seed(faults.jitter_seed, "inject-jitter", phase as u64);
+        let u = (((bits >> 11) | 1) as f64) * (1.0 / (1u64 << 53) as f64);
+        Nanos::from_nanos_f64(-(faults.jitter_mean.as_nanos() as f64) * u.ln())
+    };
+    (
+        crash + partition + jitter,
+        [crash, Nanos::ZERO, partition, jitter],
+    )
 }
 
 /// Decompose the noise of `[t, t+e)` by category (critical-rank
@@ -217,24 +373,40 @@ pub fn couple(ranks: &[RankSeries], params: &BspParams) -> CollectiveRun {
                 break;
             }
             let mut durations = Vec::with_capacity(ranks.len());
+            // Trace extent of each rank's window, excluding injected
+            // wall-clock delays (the chart decomposition covers only
+            // this span — injected time has its own attribution rows).
+            let mut trace_spans = Vec::with_capacity(ranks.len());
+            let mut injected = Vec::with_capacity(ranks.len());
             let mut next_cursors = Vec::with_capacity(ranks.len());
             let mut fits = true;
             for (r, series) in ranks.iter().enumerate() {
                 let pos = series.start + t;
-                let (e, cursor) = if params.mechanistic {
-                    solve_phase(series, cursors[r], pos, g)
+                // Persistent straggler: scaled compute demand.
+                let f = &series.faults;
+                let g_r = if f.slow_factor != 1.0 {
+                    Nanos((g.as_nanos() as f64 * f.slow_factor).round() as u64)
                 } else {
-                    let (w, cursor) = window_noise(series, cursors[r], pos, g);
-                    (g + w, cursor)
+                    g
+                };
+                let (e, cursor) = if params.mechanistic {
+                    solve_phase(series, cursors[r], pos, g_r)
+                } else {
+                    let (w, cursor) = window_noise(series, cursors[r], pos, g_r);
+                    (g_r + w, cursor)
                 };
                 // Mechanistic windows must fit below the horizon as
                 // elongated; grid windows as sampled.
-                let need = if params.mechanistic { e } else { g };
+                let need = if params.mechanistic { e } else { g_r };
                 if pos + need > series.horizon {
                     fits = false;
                     break;
                 }
-                durations.push(e);
+                let (extra, mut by_class) = injected_extras(f, t, e, phases.len());
+                by_class[1] = g_r - g; // straggler share
+                durations.push(e + extra);
+                trace_spans.push(e);
+                injected.push(by_class);
                 next_cursors.push(cursor);
             }
             if !fits {
@@ -251,8 +423,13 @@ pub fn couple(ranks: &[RankSeries], params: &BspParams) -> CollectiveRun {
                 &ranks[critical],
                 cursors[critical],
                 ranks[critical].start + t,
-                durations[critical],
+                trace_spans[critical],
             );
+            let critical_injected: Vec<(InjectedClass, Nanos)> = InjectedClass::ALL
+                .iter()
+                .zip(injected[critical])
+                .map(|(c, d)| (*c, d))
+                .collect();
             end += durations[critical];
             if params.mechanistic {
                 let barrier = t + durations[critical];
@@ -268,6 +445,7 @@ pub fn couple(ranks: &[RankSeries], params: &BspParams) -> CollectiveRun {
                     durations,
                     critical,
                     critical_by_category,
+                    critical_injected,
                 });
                 t = barrier;
             } else {
@@ -277,6 +455,7 @@ pub fn couple(ranks: &[RankSeries], params: &BspParams) -> CollectiveRun {
                     durations,
                     critical,
                     critical_by_category,
+                    critical_injected,
                 });
                 t += g;
             }
@@ -326,6 +505,10 @@ pub struct CollectiveBreakdown {
     /// Total barrier-paid noise by category (critical-path
     /// attribution), canonical order.
     pub barrier_paid: Vec<(NoiseCategory, Nanos)>,
+    /// Total barrier-paid time by injected fault class (critical-path
+    /// attribution), canonical [`InjectedClass::ALL`] order. All zero
+    /// when nothing was injected.
+    pub barrier_injected: Vec<(InjectedClass, Nanos)>,
 }
 
 impl CollectiveBreakdown {
@@ -347,6 +530,10 @@ impl CollectiveBreakdown {
             .iter()
             .map(|c| (*c, Nanos::ZERO))
             .collect();
+        let mut barrier_injected: Vec<(InjectedClass, Nanos)> = InjectedClass::ALL
+            .iter()
+            .map(|c| (*c, Nanos::ZERO))
+            .collect();
         let mut total_max_noise = Nanos::ZERO;
         for phase in &run.phases {
             let barrier = phase.durations[phase.critical];
@@ -358,6 +545,11 @@ impl CollectiveBreakdown {
             }
             for (cat, d) in &phase.critical_by_category {
                 if let Some(slot) = barrier_paid.iter_mut().find(|(c, _)| c == cat) {
+                    slot.1 += *d;
+                }
+            }
+            for (class, d) in &phase.critical_injected {
+                if let Some(slot) = barrier_injected.iter_mut().find(|(c, _)| c == class) {
                     slot.1 += *d;
                 }
             }
@@ -385,6 +577,7 @@ impl CollectiveBreakdown {
             },
             ranks,
             barrier_paid,
+            barrier_injected,
         }
     }
 
@@ -396,6 +589,21 @@ impl CollectiveBreakdown {
             .max_by_key(|(_, d)| *d)
             .filter(|(_, d)| !d.is_zero())
             .map(|(c, _)| *c)
+    }
+
+    /// The injected fault class that paid the most barrier time, if
+    /// any injected time was paid at all.
+    pub fn dominant_injected(&self) -> Option<InjectedClass> {
+        self.barrier_injected
+            .iter()
+            .max_by_key(|(_, d)| *d)
+            .filter(|(_, d)| !d.is_zero())
+            .map(|(c, _)| *c)
+    }
+
+    /// Total injected time the barrier paid.
+    pub fn total_injected(&self) -> Nanos {
+        self.barrier_injected.iter().map(|(_, d)| *d).sum()
     }
 
     /// Total noise the barrier paid (critical-path attribution). This
@@ -630,5 +838,134 @@ mod tests {
         assert_eq!(run.phases[0].durations[0], Nanos(1_500));
         assert_eq!(run.phases[1].start, Nanos(1_500));
         assert_eq!(run.phases[1].durations[0], Nanos(1_080));
+    }
+
+    fn injected_total(b: &CollectiveBreakdown, class: InjectedClass) -> Nanos {
+        b.barrier_injected
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, d)| *d)
+            .unwrap()
+    }
+
+    #[test]
+    fn default_faults_change_nothing() {
+        let plain = vec![
+            series(vec![point(500, 300, Activity::TimerInterrupt)], 10_000),
+            series(vec![], 10_000),
+        ];
+        let faulted: Vec<RankSeries> = plain
+            .iter()
+            .map(|s| s.clone().with_faults(RankFaults::default()))
+            .collect();
+        let a = couple(&plain, &params(1_000));
+        let b = couple(&faulted, &params(1_000));
+        assert_eq!(a, b, "empty fault config must be a strict no-op");
+        let bd = CollectiveBreakdown::build(&a);
+        assert!(bd.dominant_injected().is_none());
+        assert!(bd.total_injected().is_zero());
+    }
+
+    #[test]
+    fn straggler_is_critical_and_attributed() {
+        let ranks = vec![
+            series(vec![], 10_000),
+            series(vec![], 10_000).with_faults(RankFaults {
+                slow_factor: 1.5,
+                ..RankFaults::default()
+            }),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        assert!(!run.phases.is_empty());
+        for p in &run.phases {
+            assert_eq!(p.critical, 1, "straggler must pace the barrier");
+            assert_eq!(p.durations[1], Nanos(1_500));
+        }
+        let b = CollectiveBreakdown::build(&run);
+        assert_eq!(b.dominant_injected(), Some(InjectedClass::Straggler));
+        assert_eq!(
+            injected_total(&b, InjectedClass::Straggler),
+            Nanos(500) * run.phases.len() as u64
+        );
+        assert!(injected_total(&b, InjectedClass::Crash).is_zero());
+    }
+
+    #[test]
+    fn crash_outage_freezes_the_rank() {
+        // Rank 1 is down over [500, 1500): phase 0 does 500 ns of
+        // work, freezes 1000 ns, then finishes the remaining 500 ns —
+        // the 1000 ns outage is paid once and attributed to Crash.
+        let ranks = vec![
+            series(vec![], 10_000),
+            series(vec![], 10_000).with_faults(RankFaults {
+                outages: vec![(Nanos(500), Nanos(1_500))],
+                ..RankFaults::default()
+            }),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        assert_eq!(run.phases[0].durations[1], Nanos(2_000));
+        assert_eq!(run.phases[0].critical, 1);
+        assert_eq!(
+            run.phases[0].critical_injected,
+            vec![
+                (InjectedClass::Crash, Nanos(1_000)),
+                (InjectedClass::Straggler, Nanos::ZERO),
+                (InjectedClass::Partition, Nanos::ZERO),
+                (InjectedClass::Jitter, Nanos::ZERO),
+            ]
+        );
+        // Later phases run past the outage unharmed.
+        assert_eq!(run.phases[1].durations[1], Nanos(1_000));
+        let b = CollectiveBreakdown::build(&run);
+        assert_eq!(injected_total(&b, InjectedClass::Crash), Nanos(1_000));
+        assert_eq!(b.dominant_injected(), Some(InjectedClass::Crash));
+    }
+
+    #[test]
+    fn partition_delays_arrivals_inside_its_window() {
+        let ranks = vec![
+            series(vec![], 10_000),
+            series(vec![], 10_000).with_faults(RankFaults {
+                delays: vec![DelayWindow {
+                    start: Nanos(0),
+                    end: Nanos(1_500),
+                    delay: Nanos(300),
+                }],
+                ..RankFaults::default()
+            }),
+        ];
+        let run = couple(&ranks, &params(1_000));
+        // Phase 0 arrival (t=1000) is inside the partition window.
+        assert_eq!(run.phases[0].durations[1], Nanos(1_300));
+        assert_eq!(run.phases[0].critical, 1);
+        // Phase 1 arrival (t=2300) is past it.
+        assert_eq!(run.phases[1].durations[1], Nanos(1_000));
+        let b = CollectiveBreakdown::build(&run);
+        assert_eq!(injected_total(&b, InjectedClass::Partition), Nanos(300));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_positive() {
+        let faults = RankFaults {
+            jitter_mean: Nanos(200),
+            jitter_seed: 42,
+            ..RankFaults::default()
+        };
+        let ranks = vec![series(vec![], 20_000).with_faults(faults)];
+        let a = couple(&ranks, &params(1_000));
+        let b = couple(&ranks, &params(1_000));
+        assert_eq!(a, b, "jitter must be a pure function of (seed, phase)");
+        let bd = CollectiveBreakdown::build(&a);
+        assert!(
+            !injected_total(&bd, InjectedClass::Jitter).is_zero(),
+            "exponential jitter over many phases must pay some delay"
+        );
+        // Different seeds give different schedules.
+        let other = vec![series(vec![], 20_000).with_faults(RankFaults {
+            jitter_seed: 43,
+            jitter_mean: Nanos(200),
+            ..RankFaults::default()
+        })];
+        assert_ne!(couple(&other, &params(1_000)), a);
     }
 }

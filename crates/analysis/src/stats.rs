@@ -24,10 +24,12 @@ pub enum EventClass {
     RcuCallbacks,
     Schedule,
     HrTimer,
+    /// Hypervisor steal-time windows (injected perturbation).
+    Steal,
 }
 
 impl EventClass {
-    pub const ALL: [EventClass; 10] = [
+    pub const ALL: [EventClass; 11] = [
         EventClass::PageFault,
         EventClass::TimerInterrupt,
         EventClass::RunTimerSoftirq,
@@ -38,6 +40,7 @@ impl EventClass {
         EventClass::RcuCallbacks,
         EventClass::Schedule,
         EventClass::HrTimer,
+        EventClass::Steal,
     ];
 
     /// The class of an activity, if any — the inverse of
@@ -56,6 +59,7 @@ impl EventClass {
             Activity::Softirq(SoftirqVec::Rebalance) => Some(EventClass::RebalanceDomains),
             Activity::Softirq(SoftirqVec::Rcu) => Some(EventClass::RcuCallbacks),
             Activity::Schedule(_) => Some(EventClass::Schedule),
+            Activity::Steal => Some(EventClass::Steal),
             _ => None,
         }
     }
@@ -72,6 +76,7 @@ impl EventClass {
             EventClass::RcuCallbacks => a == Activity::Softirq(SoftirqVec::Rcu),
             EventClass::Schedule => matches!(a, Activity::Schedule(_)),
             EventClass::HrTimer => a == Activity::HrTimerInterrupt,
+            EventClass::Steal => a == Activity::Steal,
         }
     }
 
@@ -87,6 +92,7 @@ impl EventClass {
             EventClass::RcuCallbacks => "rcu_process_callbacks",
             EventClass::Schedule => "schedule",
             EventClass::HrTimer => "hrtimer",
+            EventClass::Steal => "steal",
         }
     }
 }

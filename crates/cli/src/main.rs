@@ -112,7 +112,18 @@ USAGE:
   osnoise signature <app> [--against SEED] [--secs N]
   osnoise cluster <app> [--nodes N] [--secs N] [--seed S] [--granularity-us G]
                   [--cpus C] [--workers W] [--max-phases P] [--stagger on|off]
-                  [--json FILE] [--store DIR]";
+                  [--json FILE] [--store DIR] [--inject SPEC]
+
+INJECTION:
+  --inject takes `;`-separated faults, each `kind:key=value,...`
+  (durations take ns/us/ms/s suffixes; node= is optional where shown):
+    dvfs:period=10ms,duty=0.2,factor=3[,node=N]   DVFS/thermal throttling
+    steal:interval=5ms,duration=200us[,node=N]    hypervisor steal time
+    numa:split=4,factor=2.5[,node=N]              NUMA-remote fault costs
+    crash:node=N,at=100ms,down=50ms               node crash + restart
+    straggler:node=N,factor=1.5                   persistent slow node
+    partition:node=N,at=50ms,dur=100ms,delay=2ms  network partition
+    jitter:mean=50us[,node=N]                     network jitter";
 
 fn cmd_campaign(args: &Args) -> ExitCode {
     let mut config = CampaignConfig::paper(args.secs());
@@ -592,6 +603,15 @@ fn cmd_cluster(args: &Args) -> ExitCode {
     }
     if args.flags.get("stagger").is_some_and(|s| s == "off") {
         config.stagger = false;
+    }
+    if let Some(spec) = args.flags.get("inject") {
+        match osn_core::parse_inject_spec(spec) {
+            Ok(specs) => config.inject.specs = specs,
+            Err(e) => {
+                eprintln!("bad --inject spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let report = if let Some(dir) = args.flags.get("store") {
         let dir = std::path::Path::new(dir);

@@ -104,6 +104,97 @@ fn cluster_report_covers_curve_and_barrier_classes() {
     assert!(text.contains("per-rank accounting"), "{text}");
 }
 
+/// A truncated store must fail `analyze` and `info` with a typed
+/// error and nonzero exit — never a panic.
+#[test]
+fn analyze_and_info_fail_cleanly_on_corrupt_store() {
+    let dir = tmpdir("corrupt");
+    let store = dir.join("torn.osn");
+    let store_str = store.to_str().unwrap();
+    let out = osnoise(&["record", "sphot", store_str, "--secs", "1", "--seed", "5"]);
+    assert!(out.status.success(), "record failed: {}", stdout(&out));
+
+    // Cut the file below the 24-byte header: nothing recoverable, both
+    // commands must fail with a typed error.
+    let bytes = std::fs::read(&store).unwrap();
+    std::fs::write(&store, &bytes[..16]).unwrap();
+    for cmd in ["analyze", "info"] {
+        let out = osnoise(&[cmd, store_str]);
+        assert!(!out.status.success(), "{cmd} must fail on a headless store");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("cannot"), "{cmd} stderr: {err}");
+        assert!(!err.contains("panicked"), "{cmd} panicked: {err}");
+    }
+
+    // A sliver past the header: `info` salvages (zero chunks) by
+    // design, but `analyze` has no metadata to reconstruct the run
+    // from and must fail typed, not panic.
+    std::fs::write(&store, &bytes[..64]).unwrap();
+    let out = osnoise(&["analyze", store_str]);
+    assert!(!out.status.success(), "analyze must fail on a torn store");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot"), "analyze stderr: {err}");
+    assert!(!err.contains("panicked"), "analyze panicked: {err}");
+
+    // A version from the future must be reported as such, by both.
+    let mut bytes = std::fs::read(&store).unwrap();
+    bytes[8] = 0xFF; // version field of the file header
+    std::fs::write(&store, &bytes).unwrap();
+    for cmd in ["analyze", "info"] {
+        let out = osnoise(&[cmd, store_str]);
+        assert!(!out.status.success(), "{cmd} must fail on a bad version");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("version"), "{cmd} stderr: {err}");
+        assert!(!err.contains("panicked"), "{cmd} panicked: {err}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--inject` surfaces each class: kernel-tier steal shows up in the
+/// per-node traces, cluster-tier faults as injected barrier rows.
+#[test]
+fn cluster_inject_reports_fault_attribution() {
+    let out = osnoise(&[
+        "cluster",
+        "sphot",
+        "--nodes",
+        "2",
+        "--secs",
+        "1",
+        "--cpus",
+        "2",
+        "--seed",
+        "7",
+        "--inject",
+        "crash:node=1,at=100ms,down=50ms; straggler:node=0,factor=1.3; jitter:mean=20us",
+    ]);
+    assert!(
+        out.status.success(),
+        "cluster --inject failed: {}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("barrier paid by injected fault class"),
+        "{text}"
+    );
+    assert!(text.contains("crash"), "{text}");
+    assert!(text.contains("straggler"), "{text}");
+
+    let bad = osnoise(&[
+        "cluster",
+        "sphot",
+        "--nodes",
+        "2",
+        "--secs",
+        "1",
+        "--inject",
+        "meteor:node=0",
+    ]);
+    assert!(!bad.status.success(), "unknown injection kind must fail");
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown injection kind"));
+}
+
 #[test]
 fn cluster_store_spills_one_osn_per_node_and_json_report() {
     let dir = tmpdir("cluster");

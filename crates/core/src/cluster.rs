@@ -28,9 +28,11 @@ use std::path::{Path, PathBuf};
 
 use osn_analysis::chart::NoiseChart;
 use osn_analysis::collective::{
-    couple, BspParams, CollectiveBreakdown, CollectiveRun, RankSeries, RankStats,
+    couple, BspParams, CollectiveBreakdown, CollectiveRun, DelayWindow, InjectedClass, RankFaults,
+    RankSeries, RankStats,
 };
 use osn_kernel::activity::NoiseCategory;
+use osn_kernel::perturb::{DvfsSpec, KernelPerturbations, NumaSpec, StealSpec};
 use osn_kernel::rng::{derive_indexed_seed, derive_seed};
 use osn_kernel::time::Nanos;
 use osn_store::StoreOptions;
@@ -47,10 +49,221 @@ const NODE_SEED_LABEL: &str = "cluster-node";
 /// Label under which per-node start offsets derive from the campaign
 /// seed.
 const STAGGER_LABEL: &str = "cluster-stagger";
+/// Label under which per-rank network-jitter seeds derive from the
+/// campaign seed.
+const JITTER_LABEL: &str = "cluster-jitter";
 /// Monte-Carlo trials for the analytic comparison column.
 const ANALYTIC_TRIALS: u32 = 4_000;
 /// Staggered start offsets are uniform in `[0, duration / STAGGER_DIV)`.
 const STAGGER_DIV: u64 = 8;
+
+/// One injected perturbation. Kernel-tier variants (`Dvfs`, `Steal`,
+/// `Numa`) lower into [`KernelPerturbations`] on the target node's
+/// config and show up as new activity/signature rows in that node's
+/// trace; cluster-tier variants (`Crash`, `Straggler`, `Partition`,
+/// `Jitter`) act on the BSP coupling via [`RankFaults`] and show up as
+/// [`InjectedClass`] rows in the barrier decomposition. Every schedule
+/// derives from the campaign seed — byte-identical across worker
+/// counts.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Injection {
+    /// DVFS/thermal throttling: kernel costs scaled by `factor` for a
+    /// `duty` fraction of every `period`, on one node or all.
+    Dvfs {
+        node: Option<usize>,
+        period: Nanos,
+        duty: f64,
+        factor: f64,
+    },
+    /// Hypervisor steal-time windows preempting the running task.
+    Steal {
+        node: Option<usize>,
+        mean_interval: Nanos,
+        mean_duration: Nanos,
+    },
+    /// NUMA-asymmetric page-fault costs: CPUs `>= split_cpu` pay
+    /// `factor`× per fault.
+    Numa {
+        node: Option<usize>,
+        split_cpu: u16,
+        factor: f64,
+    },
+    /// Node crash at `at`, restarting (from where it left off) after
+    /// `down`.
+    Crash { node: usize, at: Nanos, down: Nanos },
+    /// Persistent straggler: the node's compute demand is scaled.
+    Straggler { node: usize, factor: f64 },
+    /// Network partition over `[at, at + duration)`: the node's
+    /// barrier arrivals inside the window are delayed by `delay`.
+    Partition {
+        node: usize,
+        at: Nanos,
+        duration: Nanos,
+        delay: Nanos,
+    },
+    /// Per-phase exponential network jitter on barrier arrival.
+    Jitter { node: Option<usize>, mean: Nanos },
+}
+
+impl Injection {
+    /// Whether a node-filtered injection applies to node `index`.
+    fn applies(node: &Option<usize>, index: usize) -> bool {
+        node.is_none_or(|n| n == index)
+    }
+}
+
+/// The campaign's injection set. A wrapper struct (rather than a bare
+/// `Vec`) so deserialization can treat the whole block as optional:
+/// configs serialized before injection existed read back as "nothing
+/// injected".
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct ClusterInjections {
+    pub specs: Vec<Injection>,
+}
+
+impl serde::Deserialize for ClusterInjections {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.is_null() {
+            return Ok(Self::default());
+        }
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "ClusterInjections"))?;
+        let specs = serde::__private::field(m, "specs");
+        if specs.is_null() {
+            return Ok(Self::default());
+        }
+        Ok(ClusterInjections {
+            specs: serde::Deserialize::from_value(specs)?,
+        })
+    }
+}
+
+impl ClusterInjections {
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Parse a duration with an `ns`/`us`/`ms`/`s` suffix (e.g. `200us`,
+/// `1.5ms`, `50000ns`).
+fn parse_duration(s: &str) -> Result<Nanos, String> {
+    let s = s.trim();
+    let (num, mult) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        return Err(format!("duration `{s}` needs a ns/us/ms/s suffix"));
+    };
+    let value: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad duration value `{s}`"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("duration `{s}` out of range"));
+    }
+    Ok(Nanos((value * mult).round() as u64))
+}
+
+/// Parse an `--inject` spec: `;`-separated injections, each
+/// `kind:key=value,key=value`. Kinds and keys (durations take
+/// ns/us/ms/s suffixes; `node` is optional where listed):
+///
+/// * `dvfs:period=10ms,duty=0.2,factor=3[,node=N]`
+/// * `steal:interval=5ms,duration=200us[,node=N]`
+/// * `numa:split=4,factor=2.5[,node=N]`
+/// * `crash:node=N,at=100ms,down=50ms`
+/// * `straggler:node=N,factor=1.5`
+/// * `partition:node=N,at=50ms,dur=100ms,delay=2ms`
+/// * `jitter:mean=50us[,node=N]`
+pub fn parse_inject_spec(spec: &str) -> Result<Vec<Injection>, String> {
+    spec.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_one_injection)
+        .collect()
+}
+
+fn parse_one_injection(s: &str) -> Result<Injection, String> {
+    let (kind, args) = s.split_once(':').unwrap_or((s, ""));
+    let kind = kind.trim();
+    let mut pairs: Vec<(&str, &str)> = Vec::new();
+    for item in args.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+        let (k, v) = item
+            .split_once('=')
+            .ok_or_else(|| format!("`{item}` in `{s}` is not key=value"))?;
+        pairs.push((k.trim(), v.trim()));
+    }
+    let mut used: Vec<&str> = Vec::new();
+    let mut get = |key: &'static str| -> Option<&str> {
+        used.push(key);
+        pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    };
+    let req = |v: Option<&str>, key: &str| {
+        v.map(str::to_owned)
+            .ok_or_else(|| format!("`{kind}` needs `{key}=`"))
+    };
+    let dur = |v: String| parse_duration(&v);
+    let num =
+        |v: String| -> Result<f64, String> { v.parse().map_err(|_| format!("bad number `{v}`")) };
+    let idx = |v: String| -> Result<usize, String> {
+        v.parse().map_err(|_| format!("bad node index `{v}`"))
+    };
+
+    let parsed = match kind {
+        "dvfs" => Injection::Dvfs {
+            node: get("node").map(str::to_owned).map(idx).transpose()?,
+            period: dur(req(get("period"), "period")?)?,
+            duty: num(req(get("duty"), "duty")?)?,
+            factor: num(req(get("factor"), "factor")?)?,
+        },
+        "steal" => Injection::Steal {
+            node: get("node").map(str::to_owned).map(idx).transpose()?,
+            mean_interval: dur(req(get("interval"), "interval")?)?,
+            mean_duration: dur(req(get("duration"), "duration")?)?,
+        },
+        "numa" => Injection::Numa {
+            node: get("node").map(str::to_owned).map(idx).transpose()?,
+            split_cpu: req(get("split"), "split")?
+                .parse()
+                .map_err(|_| "bad `split=` cpu index".to_string())?,
+            factor: num(req(get("factor"), "factor")?)?,
+        },
+        "crash" => Injection::Crash {
+            node: idx(req(get("node"), "node")?)?,
+            at: dur(req(get("at"), "at")?)?,
+            down: dur(req(get("down"), "down")?)?,
+        },
+        "straggler" => Injection::Straggler {
+            node: idx(req(get("node"), "node")?)?,
+            factor: num(req(get("factor"), "factor")?)?,
+        },
+        "partition" => Injection::Partition {
+            node: idx(req(get("node"), "node")?)?,
+            at: dur(req(get("at"), "at")?)?,
+            duration: dur(req(get("dur"), "dur")?)?,
+            delay: dur(req(get("delay"), "delay")?)?,
+        },
+        "jitter" => Injection::Jitter {
+            node: get("node").map(str::to_owned).map(idx).transpose()?,
+            mean: dur(req(get("mean"), "mean")?)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown injection kind `{other}` (dvfs, steal, numa, crash, straggler, partition, jitter)"
+            ))
+        }
+    };
+    if let Some((k, _)) = pairs.iter().find(|(k, _)| !used.contains(k)) {
+        return Err(format!("unknown key `{k}` for `{kind}`"));
+    }
+    Ok(parsed)
+}
 
 /// Configuration of one mechanistic cluster campaign.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -79,6 +292,10 @@ pub struct ClusterConfig {
     /// Host worker threads for the node simulations (None =
     /// `available_parallelism`). Does not affect results.
     pub workers: Option<usize>,
+    /// Injected perturbations (empty = the healthy cluster; absent in
+    /// old serialized configs, which read back as empty).
+    #[serde(default)]
+    pub inject: ClusterInjections,
 }
 
 impl ClusterConfig {
@@ -93,6 +310,7 @@ impl ClusterConfig {
             max_phases: 0,
             stagger: true,
             workers: None,
+            inject: ClusterInjections::default(),
         }
     }
 
@@ -110,10 +328,18 @@ impl ClusterConfig {
             return Nanos::ZERO;
         }
         let span = (self.duration.as_nanos() / STAGGER_DIV).max(1);
-        Nanos(derive_indexed_seed(self.seed, STAGGER_LABEL, index as u64) % span)
+        // Widening multiply instead of `% span`: maps the full u64 draw
+        // uniformly into [0, span) with no modulo bias (span is nowhere
+        // near a divisor of 2^64 for realistic durations).
+        Nanos(osn_kernel::perturb::bounded(
+            derive_indexed_seed(self.seed, STAGGER_LABEL, index as u64),
+            span,
+        ))
     }
 
-    /// The single-node experiment for node `index`.
+    /// The single-node experiment for node `index`, with any
+    /// kernel-tier injections that target it lowered into its
+    /// [`KernelPerturbations`].
     pub fn node_experiment(&self, index: usize) -> ExperimentConfig {
         let mut config =
             ExperimentConfig::paper(self.app, self.duration).with_seed(self.node_seed(index));
@@ -121,7 +347,85 @@ impl ClusterConfig {
             config.node.cpus = cpus;
             config.nranks = cpus as usize;
         }
+        let perturb = self.node_perturb(index);
+        if !perturb.is_empty() {
+            config.node.perturb = perturb;
+        }
         config
+    }
+
+    /// The kernel-tier perturbations node `index` runs with.
+    pub fn node_perturb(&self, index: usize) -> KernelPerturbations {
+        let mut p = KernelPerturbations::default();
+        for inj in &self.inject.specs {
+            match inj {
+                Injection::Dvfs {
+                    node,
+                    period,
+                    duty,
+                    factor,
+                } if Injection::applies(node, index) => p.dvfs.push(DvfsSpec {
+                    cpu: None,
+                    period: *period,
+                    duty: *duty,
+                    factor: *factor,
+                }),
+                Injection::Steal {
+                    node,
+                    mean_interval,
+                    mean_duration,
+                } if Injection::applies(node, index) => p.steal.push(StealSpec {
+                    cpu: None,
+                    mean_interval: *mean_interval,
+                    mean_duration: *mean_duration,
+                }),
+                Injection::Numa {
+                    node,
+                    split_cpu,
+                    factor,
+                } if Injection::applies(node, index) => {
+                    p.numa = Some(NumaSpec {
+                        split_cpu: *split_cpu,
+                        factor: *factor,
+                    })
+                }
+                _ => {}
+            }
+        }
+        p
+    }
+
+    /// The cluster-tier faults rank `index` couples with. A pure
+    /// function of `(config, index)` — byte-identical across worker
+    /// counts.
+    pub fn rank_faults(&self, index: usize) -> RankFaults {
+        let mut f = RankFaults::default();
+        for inj in &self.inject.specs {
+            match inj {
+                Injection::Crash { node, at, down } if *node == index => {
+                    f.outages.push((*at, *at + *down));
+                }
+                Injection::Straggler { node, factor } if *node == index => {
+                    f.slow_factor *= factor;
+                }
+                Injection::Partition {
+                    node,
+                    at,
+                    duration,
+                    delay,
+                } if *node == index => f.delays.push(DelayWindow {
+                    start: *at,
+                    end: *at + *duration,
+                    delay: *delay,
+                }),
+                Injection::Jitter { node, mean } if Injection::applies(node, index) => {
+                    f.jitter_mean += *mean;
+                    f.jitter_seed = derive_indexed_seed(self.seed, JITTER_LABEL, index as u64);
+                }
+                _ => {}
+            }
+        }
+        f
     }
 
     fn bsp(&self) -> BspParams {
@@ -195,6 +499,9 @@ pub struct ClusterReport {
     pub pooled_expected_max: Nanos,
     /// Which class paid for the barrier, full scale.
     pub barrier_paid: Vec<(NoiseCategory, Nanos)>,
+    /// Which *injected* fault class paid for the barrier, full scale
+    /// (all zero when nothing was injected).
+    pub barrier_injected: Vec<(InjectedClass, Nanos)>,
     /// Per-rank compute/self-noise/wait/critical accounting.
     pub ranks: Vec<RankStats>,
     /// Amplification at power-of-two sub-scales of the same campaign.
@@ -371,6 +678,7 @@ fn build_report(config: &ClusterConfig, series: &[RankSeries]) -> ClusterReport 
         },
         pooled_expected_max,
         barrier_paid: full.barrier_paid,
+        barrier_injected: full.barrier_injected,
         ranks: full.ranks,
         curve,
     }
@@ -385,7 +693,7 @@ pub fn run_cluster(config: &ClusterConfig) -> ClusterOutcome {
     let series: Vec<RankSeries> = nodes
         .iter()
         .enumerate()
-        .map(|(i, run)| rank_series(run, config.node_start(i)))
+        .map(|(i, run)| rank_series(run, config.node_start(i)).with_faults(config.rank_faults(i)))
         .collect();
     let collective = couple(&series, &config.bsp());
     let breakdown = CollectiveBreakdown::build(&collective);
@@ -424,7 +732,10 @@ pub fn run_cluster_stored(
     let series = paths
         .iter()
         .enumerate()
-        .map(|(i, path)| stored_rank_series(path, config.node_start(i)))
+        .map(|(i, path)| {
+            stored_rank_series(path, config.node_start(i))
+                .map(|s| s.with_faults(config.rank_faults(i)))
+        })
         .collect::<io::Result<Vec<_>>>()?;
     Ok((build_report(config, &series), paths))
 }
@@ -502,6 +813,20 @@ impl ClusterReport {
                 share
             );
         }
+        let injected_total = self.barrier_injected.iter().map(|(_, d)| *d).sum::<Nanos>();
+        if !injected_total.is_zero() {
+            let _ = writeln!(out, "\n  barrier paid by injected fault class:");
+            for (class, d) in &self.barrier_injected {
+                let share = d.as_nanos() as f64 / injected_total.as_nanos() as f64 * 100.0;
+                let _ = writeln!(
+                    out,
+                    "    {:<12} {:>12}  {:>5.1}%",
+                    class.name(),
+                    d.to_string(),
+                    share
+                );
+            }
+        }
         let _ = writeln!(out, "\n  per-rank accounting:");
         for r in &self.ranks {
             let _ = writeln!(
@@ -572,5 +897,172 @@ mod tests {
         config.max_phases = 25;
         let outcome = run_cluster(&config);
         assert_eq!(outcome.report.phases, 25);
+    }
+
+    #[test]
+    fn parse_inject_spec_covers_every_kind() {
+        let spec = "dvfs:period=10ms,duty=0.2,factor=3,node=1; \
+                    steal:interval=5ms,duration=200us; \
+                    numa:split=4,factor=2.5; \
+                    crash:node=1,at=100ms,down=50ms; \
+                    straggler:node=2,factor=1.5; \
+                    partition:node=0,at=50ms,dur=100ms,delay=2ms; \
+                    jitter:mean=50us";
+        let specs = parse_inject_spec(spec).unwrap();
+        assert_eq!(specs.len(), 7);
+        assert_eq!(
+            specs[0],
+            Injection::Dvfs {
+                node: Some(1),
+                period: Nanos::from_millis(10),
+                duty: 0.2,
+                factor: 3.0,
+            }
+        );
+        assert_eq!(
+            specs[1],
+            Injection::Steal {
+                node: None,
+                mean_interval: Nanos::from_millis(5),
+                mean_duration: Nanos::from_micros(200),
+            }
+        );
+        assert_eq!(
+            specs[3],
+            Injection::Crash {
+                node: 1,
+                at: Nanos::from_millis(100),
+                down: Nanos::from_millis(50),
+            }
+        );
+        assert_eq!(
+            specs[5],
+            Injection::Partition {
+                node: 0,
+                at: Nanos::from_millis(50),
+                duration: Nanos::from_millis(100),
+                delay: Nanos::from_millis(2),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_inject_spec_rejects_malformed_input() {
+        assert!(parse_inject_spec("meteor:node=1").is_err(), "unknown kind");
+        assert!(
+            parse_inject_spec("crash:at=1ms,down=1ms").is_err(),
+            "missing node"
+        );
+        assert!(
+            parse_inject_spec("jitter:mean=50").is_err(),
+            "missing duration suffix"
+        );
+        assert!(
+            parse_inject_spec("straggler:node=0,factor=1.5,bogus=1").is_err(),
+            "unknown key"
+        );
+        assert!(
+            parse_inject_spec("steal:interval").is_err(),
+            "key without value"
+        );
+    }
+
+    #[test]
+    fn kernel_injections_lower_into_node_configs() {
+        let mut config = tiny(3);
+        config.inject.specs =
+            parse_inject_spec("steal:interval=5ms,duration=200us,node=1; numa:split=1,factor=2.0")
+                .unwrap();
+        // Node 0: only the unfiltered NUMA spec.
+        let n0 = config.node_experiment(0).node.perturb;
+        assert!(n0.steal.is_empty());
+        assert_eq!(n0.numa.unwrap().split_cpu, 1);
+        // Node 1: steal too.
+        let n1 = config.node_experiment(1).node.perturb;
+        assert_eq!(n1.steal.len(), 1);
+        assert_eq!(n1.steal[0].mean_interval, Nanos::from_millis(5));
+        // No injection at all: the node config stays default.
+        let healthy = tiny(3).node_experiment(1).node.perturb;
+        assert!(healthy.is_empty());
+    }
+
+    #[test]
+    fn cluster_faults_lower_into_rank_faults() {
+        let mut config = tiny(4);
+        config.inject.specs = parse_inject_spec(
+            "crash:node=1,at=10ms,down=5ms; straggler:node=2,factor=1.5; jitter:mean=20us",
+        )
+        .unwrap();
+        let f1 = config.rank_faults(1);
+        assert_eq!(
+            f1.outages,
+            vec![(Nanos::from_millis(10), Nanos::from_millis(15))]
+        );
+        assert_eq!(f1.slow_factor, 1.0);
+        let f2 = config.rank_faults(2);
+        assert_eq!(f2.slow_factor, 1.5);
+        assert!(f2.outages.is_empty());
+        // Jitter applies to all ranks, decorrelated by per-rank seeds.
+        assert_eq!(f1.jitter_mean, Nanos::from_micros(20));
+        assert_ne!(f1.jitter_seed, f2.jitter_seed);
+        // Healthy config: empty faults on every rank.
+        assert!(tiny(4).rank_faults(1).is_empty());
+    }
+
+    #[test]
+    fn injected_cluster_attributes_each_class() {
+        let mut config = tiny(3);
+        config.max_phases = 200;
+        config.inject.specs = parse_inject_spec(
+            "crash:node=1,at=20ms,down=10ms; straggler:node=2,factor=1.2; \
+             partition:node=0,at=50ms,dur=150ms,delay=500us; jitter:mean=10us",
+        )
+        .unwrap();
+        let outcome = run_cluster(&config);
+        let injected = &outcome.report.barrier_injected;
+        for class in osn_analysis::collective::InjectedClass::ALL {
+            let row = injected
+                .iter()
+                .find(|(c, _)| *c == class)
+                .map(|(_, d)| *d)
+                .unwrap();
+            assert!(
+                !row.is_zero(),
+                "injected class {} paid nothing at the barrier",
+                class.name()
+            );
+        }
+        assert!(outcome.report.render().contains("injected fault class"));
+        // The healthy campaign pays nothing on those rows and keeps
+        // its render free of the injected section.
+        let healthy = run_cluster(&{
+            let mut c = tiny(3);
+            c.max_phases = 200;
+            c
+        });
+        assert!(healthy
+            .report
+            .barrier_injected
+            .iter()
+            .all(|(_, d)| d.is_zero()));
+        assert!(!healthy.report.render().contains("injected fault class"));
+    }
+
+    /// Cluster configs serialized before the `inject` field existed
+    /// must still deserialize (to the empty injection set).
+    #[test]
+    fn inject_field_defaults_on_old_configs() {
+        let config = tiny(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let idx = json.find(",\"inject\":").expect("inject serialized last");
+        let stripped = format!("{}}}", &json[..idx]);
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.inject.is_empty());
+        // And the full form round-trips.
+        let mut with = tiny(2);
+        with.inject.specs = parse_inject_spec("straggler:node=0,factor=2").unwrap();
+        let json = serde_json::to_string(&with).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.inject, with.inject);
     }
 }

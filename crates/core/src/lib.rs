@@ -22,8 +22,8 @@ pub mod store;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
 pub use cluster::{
-    run_cluster, run_cluster_stored, ClusterConfig, ClusterOutcome, ClusterReport,
-    ClusterScalePoint,
+    parse_inject_spec, run_cluster, run_cluster_stored, ClusterConfig, ClusterInjections,
+    ClusterOutcome, ClusterReport, ClusterScalePoint, Injection,
 };
 pub use experiment::{run_app, AppRun, ExperimentConfig};
 pub use figures::{

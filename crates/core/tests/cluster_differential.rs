@@ -139,6 +139,40 @@ fn report_is_byte_identical_across_worker_counts() {
     }
 }
 
+/// Injection schedules derive from the campaign seed, never from
+/// worker scheduling: a faulted campaign (one injection of every
+/// class, kernel and cluster tier) is byte-identical across worker
+/// counts, for several seeds.
+#[test]
+fn injected_report_is_byte_identical_across_worker_counts() {
+    for seed in [7u64, 1234, 0xDEAD] {
+        let mut reports = Vec::new();
+        for workers in [1usize, 4, 8] {
+            let mut c = config(App::Sphot, 4, seed);
+            c.max_phases = 150;
+            c.inject.specs = osn_core::parse_inject_spec(
+                "steal:interval=5ms,duration=100us,node=1; \
+                 dvfs:period=20ms,duty=0.3,factor=2,node=2; \
+                 numa:split=1,factor=2,node=3; \
+                 crash:node=1,at=50ms,down=20ms; \
+                 straggler:node=2,factor=1.2; \
+                 partition:node=3,at=100ms,dur=100ms,delay=300us; \
+                 jitter:mean=10us",
+            )
+            .unwrap();
+            c.workers = Some(workers);
+            let json = serde_json::to_string(&run_cluster(&c).report).unwrap();
+            reports.push((workers, json));
+        }
+        for (workers, json) in &reports[1..] {
+            assert_eq!(
+                json, &reports[0].1,
+                "seed {seed}: injected report differs between 1 and {workers} workers",
+            );
+        }
+    }
+}
+
 #[test]
 fn stored_path_report_matches_in_memory() {
     let c = config(App::Sphot, 3, 9);

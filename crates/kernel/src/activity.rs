@@ -151,6 +151,10 @@ pub enum Activity {
     Schedule(SchedPart),
     /// System call service.
     Syscall(SyscallKind),
+    /// Hypervisor steal time: the vCPU is descheduled by the host and
+    /// the guest makes no progress (injected perturbation; see
+    /// `perturb::StealSpec`).
+    Steal,
 }
 
 /// The five noise categories of the paper's Fig 3, plus a bucket for
@@ -210,6 +214,9 @@ impl Activity {
             | Activity::Softirq(SoftirqVec::NetRx)
             | Activity::Softirq(SoftirqVec::NetTx) => NoiseCategory::Io,
             Activity::Syscall(_) => NoiseCategory::Requested,
+            // The guest makes no progress while the host runs someone
+            // else: to the application this is a preemption.
+            Activity::Steal => NoiseCategory::Preemption,
         }
     }
 
@@ -226,7 +233,10 @@ impl Activity {
     pub fn is_hardirq(self) -> bool {
         matches!(
             self,
-            Activity::TimerInterrupt | Activity::HrTimerInterrupt | Activity::NetworkInterrupt
+            Activity::TimerInterrupt
+                | Activity::HrTimerInterrupt
+                | Activity::NetworkInterrupt
+                | Activity::Steal
         )
     }
 
@@ -240,6 +250,7 @@ impl Activity {
             Activity::Schedule(SchedPart::Before) => "schedule_pre",
             Activity::Schedule(SchedPart::After) => "schedule_post",
             Activity::Syscall(k) => k.name(),
+            Activity::Steal => "steal",
         }
     }
 
@@ -268,6 +279,7 @@ impl Activity {
             Activity::Syscall(SyscallKind::Nanosleep) => 19,
             Activity::Syscall(SyscallKind::Gettime) => 20,
             Activity::Syscall(SyscallKind::Other) => 21,
+            Activity::Steal => 22,
         }
     }
 
@@ -295,13 +307,14 @@ impl Activity {
             19 => Activity::Syscall(SyscallKind::Nanosleep),
             20 => Activity::Syscall(SyscallKind::Gettime),
             21 => Activity::Syscall(SyscallKind::Other),
+            22 => Activity::Steal,
             _ => return None,
         })
     }
 
     /// Every activity variant (for exhaustive tests and report layouts).
     pub fn all() -> Vec<Activity> {
-        (1..=21).filter_map(Activity::from_code).collect()
+        (1..=22).filter_map(Activity::from_code).collect()
     }
 }
 
@@ -333,7 +346,7 @@ mod tests {
         for a in Activity::all() {
             assert!(seen.insert(a.code()), "duplicate code for {a}");
         }
-        assert_eq!(seen.len(), 21);
+        assert_eq!(seen.len(), 22);
     }
 
     #[test]
@@ -350,6 +363,7 @@ mod tests {
         assert_eq!(A::Softirq(SoftirqVec::NetRx).category(), C::Io);
         assert_eq!(A::Softirq(SoftirqVec::NetTx).category(), C::Io);
         assert_eq!(A::Syscall(SyscallKind::Read).category(), C::Requested);
+        assert_eq!(A::Steal.category(), C::Preemption);
     }
 
     #[test]
@@ -364,6 +378,8 @@ mod tests {
         assert!(Activity::TimerInterrupt.is_hardirq());
         assert!(Activity::NetworkInterrupt.is_hardirq());
         assert!(Activity::HrTimerInterrupt.is_hardirq());
+        // Steal can land on any context, so it nests like a hard IRQ.
+        assert!(Activity::Steal.is_hardirq());
         assert!(!Activity::Softirq(SoftirqVec::Timer).is_hardirq());
         assert!(!Activity::PageFault(FaultKind::AnonZero).is_hardirq());
     }

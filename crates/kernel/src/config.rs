@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::cost::CostModels;
 use crate::ids::CpuId;
 use crate::net::NfsModel;
+use crate::perturb::KernelPerturbations;
 use crate::sched::SchedParams;
 use crate::time::Nanos;
 
@@ -75,6 +76,11 @@ pub struct NodeConfig {
     /// Event queue implementation (result-identical either way; see
     /// [`QueueKind`]).
     pub queue: QueueKind,
+    /// Injected perturbations (DVFS throttling, hypervisor steal time,
+    /// NUMA-asymmetric faults). Empty by default — and `serde(default)`
+    /// so configs serialized before this field existed still load.
+    #[serde(default)]
+    pub perturb: KernelPerturbations,
 }
 
 impl Default for NodeConfig {
@@ -97,6 +103,7 @@ impl Default for NodeConfig {
             rpciod_work_per_rpc: Nanos::from_micros(5),
             rpciod_ns_per_kib: 40.0,
             queue: QueueKind::default(),
+            perturb: KernelPerturbations::default(),
         }
     }
 }
@@ -125,6 +132,11 @@ impl NodeConfig {
 
     pub fn with_queue(mut self, queue: QueueKind) -> Self {
         self.queue = queue;
+        self
+    }
+
+    pub fn with_perturb(mut self, perturb: KernelPerturbations) -> Self {
+        self.perturb = perturb;
         self
     }
 }
@@ -162,5 +174,20 @@ mod tests {
         assert_eq!(back.cpus, c.cpus);
         assert_eq!(back.tick_period, c.tick_period);
         assert_eq!(back.seed, c.seed);
+        assert!(back.perturb.is_empty());
+    }
+
+    /// Configs serialized before the `perturb` field existed must
+    /// still deserialize (to the empty injection).
+    #[test]
+    fn perturb_field_defaults_on_old_configs() {
+        let c = NodeConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        // `perturb` is the final field: cut it out of the serialized
+        // form to reconstruct what an old config file looks like.
+        let idx = json.find(",\"perturb\":").expect("perturb serialized last");
+        let stripped = format!("{}}}", &json[..idx]);
+        let back: NodeConfig = serde_json::from_str(&stripped).unwrap();
+        assert!(back.perturb.is_empty());
     }
 }

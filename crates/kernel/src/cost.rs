@@ -47,6 +47,20 @@ impl CostModel {
     }
 }
 
+/// Scale an already-sampled cost by an injected perturbation factor
+/// (DVFS throttling, NUMA-remote faults): identity at exactly 1.0,
+/// round-to-nearest otherwise. Deliberately applied *after* the
+/// model's floor/cap — a throttled CPU legitimately exceeds the
+/// healthy machine's cap.
+#[inline]
+pub fn scale_cost(cost: Nanos, factor: f64) -> Nanos {
+    if factor == 1.0 {
+        cost
+    } else {
+        Nanos((cost.as_nanos() as f64 * factor).round() as u64)
+    }
+}
+
 /// The complete set of kernel cost models.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostModels {

@@ -35,6 +35,7 @@ pub mod ids;
 pub mod mm;
 pub mod net;
 pub mod node;
+pub mod perturb;
 pub mod rng;
 pub mod sched;
 pub mod softirq;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::ids::{CpuId, JobId, RegionId, Tid};
     pub use crate::mm::{AddressSpace, Backing, PAGE_SIZE};
     pub use crate::node::{Node, NodeStats, RunResult};
+    pub use crate::perturb::{DvfsSpec, KernelPerturbations, NumaSpec, StealSpec};
     pub use crate::rng::{Dist, Stream};
     pub use crate::task::TaskMeta;
     pub use crate::time::{Interval, Nanos};

@@ -48,6 +48,9 @@ enum FrameExit {
     },
     /// Page fault serviced (page already marked present at entry).
     Fault,
+    /// Injected hypervisor steal window elapsed (no kernel effect; the
+    /// frame's duration *is* the perturbation).
+    Steal,
     /// Syscall completes with this effect.
     Syscall(SyscallEffect),
     /// First half of `schedule()`: perform the context switch.
@@ -163,6 +166,9 @@ enum Ev {
     HrTimer { cpu: CpuId, tid: Tid },
     /// The CPU reaches its next self-scheduled advance point.
     Advance { cpu: CpuId, gen: u64 },
+    /// An injected hypervisor steal window begins on this CPU (only
+    /// ever scheduled when steal perturbation is configured).
+    Steal { cpu: CpuId },
 }
 
 /// Aggregate counters the engine keeps for sanity checks and reports.
@@ -239,6 +245,10 @@ pub struct Node {
     s_tick: Stream,
     s_net: Stream,
     s_daemon: Stream,
+    /// Injected-perturbation state; `None` when `cfg.perturb` is empty,
+    /// in which case no hook below touches randomness or the queue and
+    /// the run is byte-identical to an unperturbed build.
+    perturb: Option<crate::perturb::PerturbState>,
     stats: NodeStats,
     live_apps: usize,
 }
@@ -253,6 +263,7 @@ impl Node {
         let queue_kind = cfg.queue;
         let cpus = (0..cfg.cpus).map(|i| Cpu::new(CpuId(i))).collect();
         let nfs = cfg.nfs.clone();
+        let perturb = crate::perturb::PerturbState::new(&cfg.perturb, seed, cfg.cpus as usize);
         let mut node = Node {
             cfg,
             clock: Nanos::ZERO,
@@ -272,6 +283,7 @@ impl Node {
             s_tick: Stream::new(seed, "tick"),
             s_net: Stream::new(seed, "net"),
             s_daemon: Stream::new(seed, "daemon"),
+            perturb,
             stats: NodeStats::default(),
             live_apps: 0,
         };
@@ -424,12 +436,21 @@ impl Node {
         debug_assert!(t >= last, "time went backwards on cpu{ci}: {last} -> {t}");
         let dt = t - last;
         if !dt.is_zero() {
-            // Charge wall time to the current task's vruntime.
+            // Charge wall time to the current task's vruntime —
+            // except time inside an injected steal window, which is
+            // not CPU service (paravirt steal-time accounting: the
+            // guest scheduler does not bill the host's absence).
             if let Some(tid) = self.cpus[ci].current {
                 let since = self.cpus[ci].charge_since;
                 let delta = t - since;
+                let stolen = matches!(
+                    self.cpus[ci].frames.last(),
+                    Some(f) if f.activity == Activity::Steal
+                );
                 let task = self.task_mut(tid);
-                task.charge(delta);
+                if !stolen {
+                    task.charge(delta);
+                }
                 let vr = task.vruntime;
                 self.cpus[ci].rq.observe_vruntime(vr);
             }
@@ -581,6 +602,12 @@ impl Node {
             }
             self.cpus[ci].user_since = None;
         }
+        // Injected perturbations scale the service cost (DVFS throttle
+        // epochs, NUMA-remote faults) — identity when none configured.
+        let cost = match &self.perturb {
+            Some(p) => p.scaled_cost(ci, t, activity, cost),
+            None => cost,
+        };
         let ctx = self.cpus[ci].ctx_tid();
         probe.kernel_enter(t, self.cpus[ci].id, ctx, activity);
         // Probe cost: one tracepoint at entry, one at exit.
@@ -601,7 +628,7 @@ impl Node {
         probe.kernel_exit(t, self.cpus[ci].id, ctx, frame.activity);
 
         match frame.on_exit {
-            FrameExit::Fault => {}
+            FrameExit::Fault | FrameExit::Steal => {}
             FrameExit::TimerIrq => self.tick_bottom(ci, probe, t),
             FrameExit::NetIrq { rpc } => {
                 self.cpus[ci].pending.rx_queue.push_back(rpc.id);
@@ -1615,6 +1642,18 @@ impl Node {
             );
             self.cpus[i].advance_gen += 1;
         }
+        // Arm the steal schedules (only when configured: the disabled
+        // path pushes nothing, keeping event seq numbers — and thus the
+        // whole run — byte-identical to a perturbation-free build).
+        if self.perturb.as_ref().is_some_and(|p| p.has_steal()) {
+            for i in 0..self.cpus.len() {
+                let gap = self.perturb.as_mut().and_then(|p| p.steal_gap(i));
+                if let Some(gap) = gap {
+                    let cpu = self.cpus[i].id;
+                    self.push_ev(gap, Ev::Steal { cpu });
+                }
+            }
+        }
 
         while let Some((t, _seq, ev)) = self.queue.pop() {
             if t > self.cfg.horizon {
@@ -1679,6 +1718,18 @@ impl Node {
                     self.sync_cpu(ci, t);
                     self.step_cpu(ci, probe, t);
                     self.resched_advance(ci, t);
+                }
+                Ev::Steal { cpu } => {
+                    let ci = cpu.index();
+                    self.sync_cpu(ci, t);
+                    let p = self.perturb.as_mut().expect("steal event without state");
+                    let dur = p.steal_duration(ci);
+                    let gap = p.steal_gap(ci).expect("steal scheduled on this cpu");
+                    // The window preempts whatever is running (user or
+                    // kernel): steal nests like a hard IRQ.
+                    self.push_frame(ci, probe, t, Activity::Steal, dur, FrameExit::Steal);
+                    self.resched_advance(ci, t);
+                    self.push_ev(t + dur + gap, Ev::Steal { cpu });
                 }
             }
             if self.live_apps == 0 {

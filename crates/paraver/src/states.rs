@@ -73,6 +73,9 @@ pub fn state_rgb(code: u32) -> (u8, u8, u8) {
         Some(Activity::Softirq(SoftirqVec::Rcu))
         | Some(Activity::Softirq(SoftirqVec::Rebalance)) => (140, 80, 200),
         Some(Activity::Syscall(_)) => (120, 120, 120),
+        // Injected hypervisor steal time: dark teal — visually distinct
+        // from every native noise source in the paper's legend.
+        Some(Activity::Steal) => (0, 100, 100),
         None => (255, 255, 255),
     }
 }

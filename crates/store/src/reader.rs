@@ -144,6 +144,9 @@ impl StoreData {
 }
 
 struct Footer {
+    /// File offset the footer block begins at (validated against the
+    /// trailer's length field and checksum).
+    start: u64,
     lost: Vec<u64>,
     meta: Vec<u8>,
     chunks: Vec<ChunkMeta>,
@@ -197,6 +200,14 @@ impl StoreReader {
         let mut chunks: Vec<ChunkMeta> = Vec::new();
         let mut torn_lost = vec![0u64; header.ncpus];
 
+        // Validate the footer once, up front. The chunk scan may only
+        // terminate "cleanly" at a position where a *checksummed*
+        // footer actually begins — four garbage bytes that happen to
+        // equal `FOOTER_MAGIC` (a torn footer, or payload debris after
+        // the last valid chunk) must instead be accounted as a dropped
+        // tail, not silently accepted as the end of the file.
+        let footer = parse_footer(&file, file_len, header.ncpus).ok();
+
         let mut pos = FILE_HEADER_BYTES as u64;
         loop {
             if pos + 4 > file_len {
@@ -205,8 +216,10 @@ impl StoreReader {
             }
             let mut magic = [0u8; 4];
             file.read_exact_at(&mut magic, pos)?;
-            if u32::from_le_bytes(magic) == FOOTER_MAGIC {
-                break; // clean end of the chunk region
+            if u32::from_le_bytes(magic) == FOOTER_MAGIC
+                && footer.as_ref().is_some_and(|f| f.start == pos)
+            {
+                break; // a validated footer starts here: clean end of the chunk region
             }
             if pos + CHUNK_HEADER_BYTES as u64 > file_len {
                 report.dropped_bytes = file_len - pos;
@@ -245,12 +258,12 @@ impl StoreReader {
 
         // The footer may still be intact (e.g. mid-file bit rot rather
         // than truncation); salvage loss counters and metadata if so.
-        let (mut lost, meta) = match parse_footer(&file, file_len, header.ncpus) {
-            Ok(footer) => {
+        let (mut lost, meta) = match footer {
+            Some(footer) => {
                 report.footer_ok = true;
                 (footer.lost, footer.meta)
             }
-            Err(_) => (vec![0u64; header.ncpus], Vec::new()),
+            None => (vec![0u64; header.ncpus], Vec::new()),
         };
         for (slot, torn) in lost.iter_mut().zip(&torn_lost) {
             *slot += torn;
@@ -721,7 +734,12 @@ fn parse_footer(file: &File, file_len: u64, ncpus: usize) -> Result<Footer, Stor
             t_last,
         });
     }
-    Ok(Footer { lost, meta, chunks })
+    Ok(Footer {
+        start: footer_start,
+        lost,
+        meta,
+        chunks,
+    })
 }
 
 /// One-call convenience: open strictly and materialize the trace.

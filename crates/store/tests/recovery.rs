@@ -91,6 +91,56 @@ fn torn_final_chunk_by_truncation() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A file cut inside the footer block still *starts* with
+/// `FOOTER_MAGIC` at the end of the chunk region, but its trailer (and
+/// with it the footer checksum) is gone. The scan must not accept
+/// those four bytes as a clean end: the broken footer is a dropped
+/// garbage tail, every chunk still salvages.
+#[test]
+fn torn_footer_is_dropped_garbage_not_clean_end() {
+    let path = scratch("torn-footer");
+    let trace = synthetic_trace(100);
+    write_store(
+        &path,
+        &trace,
+        b"meta",
+        StoreOptions::default().with_chunk_capacity(16),
+    )
+    .unwrap();
+
+    let clean = StoreReader::open(&path).unwrap();
+    let last = *clean.chunks().last().unwrap();
+    let chunk_end = last.offset as usize + CHUNK_HEADER_BYTES + last.payload_len as usize;
+    let total_events = clean.events();
+    drop(clean);
+    let bytes = std::fs::read(&path).unwrap();
+    // Keep FOOTER_MAGIC plus a little footer debris, lose the rest.
+    let cut = chunk_end + 12;
+    assert!(cut < bytes.len(), "test file too small to tear the footer");
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    assert!(StoreReader::open(&path).is_err(), "strict open must fail");
+    let (reader, report) = StoreReader::recover(&path).unwrap();
+    assert!(!report.footer_ok);
+    assert!(
+        !report.clean(),
+        "torn footer must not report clean: {report:?}"
+    );
+    assert_eq!(
+        report.dropped_bytes,
+        (cut - chunk_end) as u64,
+        "the footer debris is the dropped tail"
+    );
+    assert_eq!(report.torn_chunks, 0, "every chunk is intact");
+
+    // All events salvage; the recorded ring losses die with the footer.
+    assert_eq!(reader.events(), total_events);
+    let back = reader.read_trace().unwrap();
+    assert_eq!(back.events, trace.events);
+    assert_eq!(back.lost, vec![0]);
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn corrupt_final_chunk_checksum_salvages_footer() {
     let path = scratch("corrupt");

@@ -52,4 +52,36 @@ run_bench analysis_throughput
 run_bench store_throughput
 run_bench cluster_throughput
 
+# Fault-injection smoke: a small cluster with one perturbation of
+# every class (kernel tier: steal/dvfs/numa; cluster tier: crash/
+# straggler/partition/jitter) must run clean, attribute each injected
+# class in the report, and produce a byte-identical JSON report on a
+# second run — the injection schedules are seed-derived, never clock-
+# or scheduler-derived.
+echo "== bench_smoke: fault injection determinism"
+INJECT='steal:interval=5ms,duration=100us,node=1; dvfs:period=20ms,duty=0.3,factor=2,node=2; numa:split=1,factor=2,node=3; crash:node=1,at=50ms,down=20ms; straggler:node=2,factor=1.2; partition:node=3,at=100ms,dur=100ms,delay=300us; jitter:mean=10us'
+inject_dir="$(mktemp -d)"
+for rep in 1 2; do
+    cargo run -q --release --offline -p osn-cli --bin osnoise -- \
+        cluster sphot --nodes 4 --secs 1 --cpus 2 --seed 7 \
+        --inject "$INJECT" --json "$inject_dir/report-$rep.json" \
+        > "$inject_dir/out-$rep.txt"
+done
+cmp "$inject_dir/report-1.json" "$inject_dir/report-2.json" || {
+    echo "bench_smoke: injected cluster report not deterministic" >&2
+    exit 1
+}
+for class in crash straggler partition jitter; do
+    grep -q "$class" "$inject_dir/out-1.txt" || {
+        echo "bench_smoke: injected class '$class' not attributed in report" >&2
+        exit 1
+    }
+done
+grep -q "barrier paid by injected fault class" "$inject_dir/out-1.txt" || {
+    echo "bench_smoke: injected-fault attribution section missing" >&2
+    exit 1
+}
+rm -rf "$inject_dir"
+echo "== bench_smoke: fault injection OK"
+
 echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json)"

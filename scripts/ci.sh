@@ -43,8 +43,20 @@ run_step() {
     step_end "$name"
 }
 
+# Every first-party crate must build under every corner of the
+# feature matrix — no default features, defaults, and all features —
+# so a cfg-gated module can't silently rot in an untested combination.
+features_matrix() {
+    local flags
+    for flags in --no-default-features "" --all-features; do
+        # shellcheck disable=SC2086
+        cargo check -q --offline --all-targets $flags "${FIRST_PARTY[@]}"
+    done
+}
+
 run_step fmt cargo fmt --check
 run_step clippy cargo clippy --offline --no-deps --all-targets "${FIRST_PARTY[@]}" -- -D warnings
+run_step features-matrix features_matrix
 run_step test cargo test -q --offline
 run_step test-simd cargo test -q --offline -p osn-analysis --features simd
 run_step doc-test cargo test -q --offline --doc
