@@ -27,7 +27,9 @@ pub mod timeline;
 pub use breakdown::Breakdown;
 pub use chart::{ChartPoint, NoiseChart};
 pub use collective::{
-    couple, BspParams, CollectiveBreakdown, CollectiveRun, PhaseOutcome, RankSeries, RankStats,
+    couple, couple_stream, BspParams, CollectiveBreakdown, CollectiveRun, NoiseSample,
+    NoiseSurrogate, PeriodicComb, PhaseOutcome, PhaseView, RankSeries, RankStats, ResidualBin,
+    SyntheticRank,
 };
 pub use histogram::Histogram;
 pub use nesting::{ActivityInstance, ColumnPairing, NestingReport};

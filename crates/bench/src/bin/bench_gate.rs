@@ -23,6 +23,7 @@ use std::process::ExitCode;
 const LOWER_IS_BETTER: &[&str] = &[
     "aggregate_streamed_over_in_memory",
     "aggregate_streamed_over_resident",
+    "aggregate_validation_ratio_error",
 ];
 
 /// Pull the top-level `"aggregate_*": <number>` pairs out of a bench

@@ -23,7 +23,11 @@ struct WorkerRow {
     /// + report).
     run_s: f64,
     nodes_per_sec: f64,
-    speedup_vs_1: f64,
+    /// `None` when the host has fewer CPUs than worker threads — a
+    /// "speedup" measured on an oversubscribed host is scheduling
+    /// noise, not parallel efficiency, so it is suppressed rather
+    /// than reported as a (dis)honest number.
+    speedup_vs_1: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -34,6 +38,9 @@ struct Report {
     nodes: usize,
     sim_secs: u64,
     granularity_us: u64,
+    /// `available_parallelism()` of the benchmarking host, recorded so
+    /// per-worker rows can be judged against real core counts.
+    host_cpus: usize,
     rows: Vec<WorkerRow>,
     /// Peak simulation throughput over the thread-count sweep — the
     /// gated metric (higher is better).
@@ -62,6 +69,9 @@ fn main() {
     config.cpus = Some(2);
     config.seed = seed;
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut rows: Vec<WorkerRow> = Vec::new();
     let mut reference: Option<Vec<u8>> = None;
     for workers in [1usize, 2, 4, 8] {
@@ -81,10 +91,16 @@ fn main() {
             }
         }
         let nodes_per_sec = nodes as f64 / run_s;
-        let speedup_vs_1 = rows.first().map(|r| r.run_s / run_s).unwrap_or(1.0);
-        println!(
-            "{workers:>2} workers: {run_s:>7.3}s  {nodes_per_sec:>6.2} nodes/s  speedup {speedup_vs_1:>5.2}x"
-        );
+        let speedup_vs_1 =
+            (workers <= host_cpus).then(|| rows.first().map(|r| r.run_s / run_s).unwrap_or(1.0));
+        match speedup_vs_1 {
+            Some(s) => println!(
+                "{workers:>2} workers: {run_s:>7.3}s  {nodes_per_sec:>6.2} nodes/s  speedup {s:>5.2}x"
+            ),
+            None => println!(
+                "{workers:>2} workers: {run_s:>7.3}s  {nodes_per_sec:>6.2} nodes/s  speedup n/a ({host_cpus} host CPUs)"
+            ),
+        }
         rows.push(WorkerRow {
             workers,
             run_s,
@@ -101,6 +117,7 @@ fn main() {
         nodes,
         sim_secs,
         granularity_us: config.granularity.as_nanos() / 1_000,
+        host_cpus,
         rows,
         aggregate_nodes_per_sec: aggregate,
     };

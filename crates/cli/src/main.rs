@@ -10,7 +10,7 @@
 //! osnoise record <app> <out.osn> [--secs N]              trace to a chunked store file (streaming)
 //! osnoise analyze <in.osn>                               out-of-core report from a store file
 //! osnoise info <in.osn>                                  store file layout and contents
-//! osnoise cluster <app> [--nodes N] [--secs N]           mechanistic multi-node BSP campaign
+//! osnoise cluster <app> [--nodes N] [--secs N]           tiered multi-node BSP campaign
 //! ```
 
 use std::collections::HashMap;
@@ -26,8 +26,8 @@ use osn_core::paraver;
 use osn_core::trace::overhead::{measure_overhead_avg, LTTNG_CLASS_OVERHEAD};
 use osn_core::workloads::App;
 use osn_core::{
-    fig10_pairs, run_app, run_cluster, run_cluster_stored, ClusterConfig, ExperimentConfig,
-    PaperReport,
+    fig10_pairs, parse_tier, run_app, run_cluster_opts, run_cluster_stored_opts, ClusterConfig,
+    ExperimentConfig, PaperReport, RunOpts,
 };
 
 struct Args {
@@ -112,7 +112,18 @@ USAGE:
   osnoise signature <app> [--against SEED] [--secs N]
   osnoise cluster <app> [--nodes N] [--secs N] [--seed S] [--granularity-us G]
                   [--cpus C] [--workers W] [--max-phases P] [--stagger on|off]
+                  [--tier mechanistic|auto|sampled:<frac>] [--progress N]
                   [--json FILE] [--store DIR] [--inject SPEC]
+
+TIERS:
+  --tier mechanistic      every node simulated in full (default)
+  --tier sampled:<frac>   a stratified <frac> of nodes simulated
+                          mechanistically; the rest synthesized from a
+                          fitted per-class noise surrogate (reaches
+                          10k-100k ranks; sampled:1.0 == mechanistic)
+  --tier auto             mechanistic up to 64 nodes, sampled beyond
+  --progress N            stderr progress line every N finished node
+                          sims (0 = ~10% stride; default 0)
 
 INJECTION:
   --inject takes `;`-separated faults, each `kind:key=value,...`
@@ -613,9 +624,26 @@ fn cmd_cluster(args: &Args) -> ExitCode {
             }
         }
     }
+    if let Some(tier) = args.flags.get("tier") {
+        match parse_tier(tier) {
+            Ok(tier) => config.tier = tier,
+            Err(e) => {
+                eprintln!("bad --tier: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let opts = RunOpts {
+        progress_every: Some(
+            args.flags
+                .get("progress")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+        ),
+    };
     let report = if let Some(dir) = args.flags.get("store") {
         let dir = std::path::Path::new(dir);
-        match run_cluster_stored(&config, dir, store_options(args)) {
+        match run_cluster_stored_opts(&config, dir, store_options(args), opts) {
             Ok((report, paths)) => {
                 for p in &paths {
                     println!("wrote {}", p.display());
@@ -628,7 +656,7 @@ fn cmd_cluster(args: &Args) -> ExitCode {
             }
         }
     } else {
-        run_cluster(&config).report
+        run_cluster_opts(&config, opts).report
     };
     print!("{}", report.render());
     if let Some(path) = args.flags.get("json") {

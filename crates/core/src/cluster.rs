@@ -23,17 +23,20 @@
 //! results are gathered by index; the coupling and report are
 //! sequential folds in rank order).
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use osn_analysis::chart::NoiseChart;
 use osn_analysis::collective::{
-    couple, BspParams, CollectiveBreakdown, CollectiveRun, DelayWindow, InjectedClass, RankFaults,
-    RankSeries, RankStats,
+    BspParams, CollectiveBreakdown, DelayWindow, InjectedClass, NoiseSurrogate, RankFaults,
+    RankSeries, RankStats, SyntheticRank,
 };
 use osn_kernel::activity::NoiseCategory;
 use osn_kernel::perturb::{DvfsSpec, KernelPerturbations, NumaSpec, StealSpec};
-use osn_kernel::rng::{derive_indexed_seed, derive_seed};
+use osn_kernel::rng::derive_indexed_seed;
 use osn_kernel::time::Nanos;
 use osn_store::StoreOptions;
 use osn_workloads::App;
@@ -52,10 +55,25 @@ const STAGGER_LABEL: &str = "cluster-stagger";
 /// Label under which per-rank network-jitter seeds derive from the
 /// campaign seed.
 const JITTER_LABEL: &str = "cluster-jitter";
-/// Monte-Carlo trials for the analytic comparison column.
-const ANALYTIC_TRIALS: u32 = 4_000;
 /// Staggered start offsets are uniform in `[0, duration / STAGGER_DIV)`.
 const STAGGER_DIV: u64 = 8;
+/// Label under which per-node sampling priorities derive (tiered mode).
+const SAMPLE_LABEL: &str = "tier-sample";
+/// Label under which synthetic-rank draw seeds derive (tiered mode).
+const SYNTH_LABEL: &str = "tier-synth";
+/// Label under which validation-twin draw seeds derive (tiered mode).
+const VALIDATE_LABEL: &str = "tier-validate";
+/// `--tier auto` runs campaigns up to this size fully mechanistically.
+const AUTO_SAMPLE: usize = 128;
+/// Floor on the mechanistic sample of a tiered campaign.
+const MIN_SAMPLE: usize = 8;
+/// Sub-scales at which the surrogate is validated against its own
+/// mechanistic sample are capped here.
+const VALIDATE_CAP: usize = 256;
+/// The pooled-window analytic column reads at most this many ranks
+/// (pooling all 100k ranks' windows would dwarf the report's own
+/// memory cap for no statistical gain).
+const POOL_CAP: usize = 256;
 
 /// One injected perturbation. Kernel-tier variants (`Dvfs`, `Steal`,
 /// `Numa`) lower into [`KernelPerturbations`] on the target node's
@@ -143,6 +161,76 @@ impl ClusterInjections {
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
     }
+}
+
+/// Simulation tier of a cluster campaign: how many nodes run the full
+/// mechanistic kernel simulation versus being synthesized from a noise
+/// surrogate fitted to the mechanistic sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub enum Tier {
+    /// Every node is simulated mechanistically (the pre-tiered
+    /// behaviour, and the default).
+    #[default]
+    Mechanistic,
+    /// Mechanistic up to `AUTO_SAMPLE` nodes; larger campaigns run a
+    /// `AUTO_SAMPLE`-node mechanistic sample and synthesize the rest.
+    Auto,
+    /// A fixed mechanistic fraction of the campaign (clamped to at
+    /// least `MIN_SAMPLE` nodes). `fraction: 1.0` is byte-identical
+    /// to `Mechanistic`.
+    Sampled { fraction: f64 },
+}
+
+/// Hand-written so configs serialized before the field existed (it
+/// reads back as `Null`) default to the old mechanistic behaviour.
+impl serde::Deserialize for Tier {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.is_null() {
+            return Ok(Tier::Mechanistic);
+        }
+        if let serde::Value::Str(s) = v {
+            return match s.as_str() {
+                "Mechanistic" => Ok(Tier::Mechanistic),
+                "Auto" => Ok(Tier::Auto),
+                other => Err(serde::DeError::unknown_variant(other, "Tier")),
+            };
+        }
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("string or map", "Tier"))?;
+        let inner = serde::__private::field(m, "Sampled");
+        let inner = inner
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("Sampled variant body", "Tier"))?;
+        Ok(Tier::Sampled {
+            fraction: serde::Deserialize::from_value(serde::__private::field(inner, "fraction"))?,
+        })
+    }
+}
+
+/// Parse a `--tier` spec: `mechanistic` (or `mech`), `auto`,
+/// `sampled` (auto sizing) or `sampled:<fraction>` with the fraction
+/// in `(0, 1]`.
+pub fn parse_tier(s: &str) -> Result<Tier, String> {
+    let s = s.trim();
+    match s {
+        "mechanistic" | "mech" => return Ok(Tier::Mechanistic),
+        "auto" | "sampled" => return Ok(Tier::Auto),
+        _ => {}
+    }
+    if let Some(frac) = s.strip_prefix("sampled:") {
+        let fraction: f64 = frac
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad sample fraction `{frac}`"))?;
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(format!("sample fraction {fraction} not in (0, 1]"));
+        }
+        return Ok(Tier::Sampled { fraction });
+    }
+    Err(format!(
+        "unknown tier `{s}` (mechanistic, auto, sampled:<fraction>)"
+    ))
 }
 
 /// Parse a duration with an `ns`/`us`/`ms`/`s` suffix (e.g. `200us`,
@@ -296,6 +384,10 @@ pub struct ClusterConfig {
     /// old serialized configs, which read back as empty).
     #[serde(default)]
     pub inject: ClusterInjections,
+    /// Simulation tier (absent in old serialized configs, which read
+    /// back as fully mechanistic).
+    #[serde(default)]
+    pub tier: Tier,
 }
 
 impl ClusterConfig {
@@ -311,6 +403,80 @@ impl ClusterConfig {
             stagger: true,
             workers: None,
             inject: ClusterInjections::default(),
+            tier: Tier::Mechanistic,
+        }
+    }
+
+    /// How many nodes the campaign simulates mechanistically.
+    pub fn sample_size(&self) -> usize {
+        let n = self.nodes;
+        match self.tier {
+            Tier::Mechanistic => n,
+            Tier::Auto => n.min(AUTO_SAMPLE),
+            Tier::Sampled { fraction } => {
+                let m = (fraction * n as f64).round() as usize;
+                m.clamp(MIN_SAMPLE.min(n), n)
+            }
+        }
+    }
+
+    /// The stratified mechanistic sample. Nodes are ordered by their
+    /// staggered start offset and split into strata so the sample
+    /// covers the whole stagger phase (the surrogate must see ranks at
+    /// every alignment of the periodic comb); within a stratum the
+    /// pick order is a seed-derived hash — deterministic, and
+    /// independent of worker count. Nodes targeted by kernel-tier
+    /// injections are forced into the sample: their traces differ
+    /// mechanistically and no surrogate fitted to healthy nodes can
+    /// synthesize them. (Cluster-tier faults need no forcing — they
+    /// apply at coupling time to mechanistic and synthetic ranks
+    /// alike.)
+    pub fn sample_plan(&self) -> SamplePlan {
+        let n = self.nodes;
+        let m = self.sample_size();
+        if m >= n {
+            return SamplePlan::full(n);
+        }
+        let mut forced: Vec<usize> = self
+            .inject
+            .specs
+            .iter()
+            .filter_map(|inj| match inj {
+                Injection::Dvfs { node: Some(i), .. }
+                | Injection::Steal { node: Some(i), .. }
+                | Injection::Numa { node: Some(i), .. }
+                    if *i < n =>
+                {
+                    Some(*i)
+                }
+                _ => None,
+            })
+            .collect();
+        forced.sort_unstable();
+        forced.dedup();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (self.node_start(i), i));
+        let strata = m.clamp(1, 8);
+        let mut chosen: Vec<usize> = Vec::with_capacity(m + forced.len());
+        for s in 0..strata {
+            let slice = &order[s * n / strata..(s + 1) * n / strata];
+            let quota = (s + 1) * m / strata - s * m / strata;
+            let mut stratum = slice.to_vec();
+            stratum.sort_by_key(|&i| {
+                (
+                    forced.binary_search(&i).is_err(),
+                    derive_indexed_seed(self.seed, SAMPLE_LABEL, i as u64),
+                    i,
+                )
+            });
+            chosen.extend(stratum.into_iter().take(quota));
+        }
+        chosen.extend(forced);
+        chosen.sort_unstable();
+        chosen.dedup();
+        SamplePlan {
+            mechanistic: chosen,
+            strata,
         }
     }
 
@@ -436,6 +602,129 @@ impl ClusterConfig {
     }
 }
 
+/// Which nodes of a campaign run mechanistically. A pure function of
+/// the config (computed before any parallelism), so tiered campaigns
+/// keep the byte-identical-across-workers contract.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SamplePlan {
+    /// Sorted global node indices simulated mechanistically.
+    pub mechanistic: Vec<usize>,
+    /// Stagger-phase strata the sample was drawn from.
+    pub strata: usize,
+}
+
+impl SamplePlan {
+    /// The untiered plan: every node mechanistic.
+    pub fn full(n: usize) -> SamplePlan {
+        SamplePlan {
+            mechanistic: (0..n).collect(),
+            strata: 1,
+        }
+    }
+
+    /// Whether every one of the campaign's `n` nodes is mechanistic.
+    pub fn is_full(&self, n: usize) -> bool {
+        self.mechanistic.len() == n
+    }
+}
+
+/// One surrogate-validation point: the mechanistic sample's first `v`
+/// ranks coupled as-is versus `v` synthetic twins drawn at the same
+/// starts and faults.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TierValidation {
+    pub nodes: usize,
+    pub mechanistic_mean_max: Nanos,
+    pub surrogate_mean_max: Nanos,
+    /// surrogate / mechanistic mean per-phase max noise (1.0 = the
+    /// surrogate amplifies exactly like the ground truth).
+    pub ratio: f64,
+}
+
+/// Tier metadata embedded in the report so tiered runs are
+/// self-describing (absent when the campaign was fully mechanistic).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TierMeta {
+    /// `"auto"` or `"sampled"`.
+    pub mode: String,
+    /// Achieved mechanistic fraction (after clamping and forcing).
+    pub sample_fraction: f64,
+    pub strata: usize,
+    pub mechanistic_nodes: usize,
+    pub synthetic_nodes: usize,
+    /// Global node indices of the mechanistic sample (the report's
+    /// `node_seeds`, `node_starts` and `ranks` rows follow this
+    /// order).
+    pub mechanistic_indices: Vec<usize>,
+    /// Surrogate-vs-mechanistic amplification at sub-scales of the
+    /// sample.
+    pub validation: Vec<TierValidation>,
+}
+
+/// Streamed accounting over the synthetic rank population: the
+/// per-rank [`RankStats`] rows are folded into count/mean/M2/max plus
+/// a fixed-size log2 sketch instead of being materialized in the
+/// report (at 100k ranks the row vector would dominate it).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RankSummary {
+    pub count: usize,
+    pub mean_self_noise: Nanos,
+    pub stddev_self_noise: Nanos,
+    pub max_self_noise: Nanos,
+    pub mean_wait: Nanos,
+    /// Phases in which a synthetic rank paced the barrier.
+    pub critical_phases: usize,
+    /// log2 sketch of per-rank self-noise: bucket 0 counts noise-free
+    /// ranks, bucket k ranks with self-noise in `[2^(k-1), 2^k)` ns.
+    /// Trailing zero buckets are trimmed.
+    pub self_noise_log2: Vec<u64>,
+}
+
+impl RankSummary {
+    fn fold<'a>(rows: impl Iterator<Item = &'a RankStats>) -> RankSummary {
+        let (mut count, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
+        let (mut max, mut wait_sum) = (Nanos::ZERO, 0u128);
+        let mut critical = 0usize;
+        let mut hist = [0u64; 65];
+        for r in rows {
+            count += 1;
+            let v = r.self_noise.as_nanos() as f64;
+            let delta = v - mean;
+            mean += delta / count as f64;
+            m2 += delta * (v - mean);
+            max = max.max(r.self_noise);
+            wait_sum += r.wait.as_nanos() as u128;
+            critical += r.critical_phases;
+            let n = r.self_noise.as_nanos();
+            let bucket = if n == 0 {
+                0
+            } else {
+                64 - n.leading_zeros() as usize
+            };
+            hist[bucket] += 1;
+        }
+        let variance = if count > 1 {
+            m2 / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let last = hist.iter().rposition(|&c| c != 0).map_or(0, |i| i + 1);
+        RankSummary {
+            count,
+            mean_self_noise: Nanos(if count == 0 { 0 } else { mean.round() as u64 }),
+            stddev_self_noise: Nanos(variance.sqrt().round() as u64),
+            max_self_noise: max,
+            mean_wait: Nanos(if count == 0 {
+                0
+            } else {
+                (wait_sum / count as u128) as u64
+            }),
+            critical_phases: critical,
+            self_noise_log2: hist[..last].to_vec(),
+        }
+    }
+}
+
 /// One point of the mechanistic amplification curve, with the analytic
 /// expectation on the same granularity for comparison.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -462,9 +751,12 @@ pub struct ClusterReport {
     pub app: App,
     pub nodes: usize,
     pub seed: u64,
+    /// Seeds of the mechanistically simulated nodes (all nodes when
+    /// untiered; the sample — see `tier.mechanistic_indices` — when
+    /// tiered).
     pub node_seeds: Vec<u64>,
-    /// Per-node staggered start offsets (all zero when `stagger` was
-    /// off).
+    /// Staggered start offsets of the same nodes (all zero when
+    /// `stagger` was off).
     pub node_starts: Vec<Nanos>,
     pub duration: Nanos,
     pub granularity: Nanos,
@@ -502,19 +794,27 @@ pub struct ClusterReport {
     /// Which *injected* fault class paid for the barrier, full scale
     /// (all zero when nothing was injected).
     pub barrier_injected: Vec<(InjectedClass, Nanos)>,
-    /// Per-rank compute/self-noise/wait/critical accounting.
+    /// Per-rank compute/self-noise/wait/critical accounting
+    /// (mechanistic ranks only when tiered; `RankStats::rank` is the
+    /// global rank index either way).
     pub ranks: Vec<RankStats>,
+    /// Folded accounting of the synthetic rank population (tiered
+    /// campaigns only).
+    pub synthetic_ranks: Option<RankSummary>,
+    /// Tier metadata (absent when fully mechanistic — including
+    /// `sampled:1.0`, which is byte-identical to mechanistic).
+    pub tier: Option<TierMeta>,
     /// Amplification at power-of-two sub-scales of the same campaign.
     pub curve: Vec<ClusterScalePoint>,
 }
 
-/// A completed cluster campaign: the per-node runs, the coupled
-/// collective run, its breakdown, and the serializable report.
+/// A completed cluster campaign: the sampling plan, the mechanistic
+/// node runs (in `plan.mechanistic` order), and the serializable
+/// report.
 pub struct ClusterOutcome {
     pub config: ClusterConfig,
+    pub plan: SamplePlan,
     pub nodes: Vec<AppRun>,
-    pub collective: CollectiveRun,
-    pub breakdown: CollectiveBreakdown,
     pub report: ClusterReport,
 }
 
@@ -562,27 +862,112 @@ fn worker_count(config: &ClusterConfig) -> usize {
     })
 }
 
-/// Extract one node's BSP rank input: the observed rank's noise chart,
-/// the trace horizon, and the staggered start offset.
-fn rank_series(run: &AppRun, start: Nanos) -> RankSeries {
+/// Extract one node's BSP rank input on the bare trace clock: the
+/// observed rank's noise chart and the trace horizon. Start offsets
+/// and faults are applied at assembly.
+fn bare_series(run: &AppRun) -> RankSeries {
     RankSeries::new(
         NoiseChart::build(&run.analysis, run.observed_rank()),
         run.result.end_time,
     )
-    .with_start(start)
 }
 
 /// Build [`ScaleModel`]'s window distribution from a rank series
 /// directly (shared by the in-memory and the stored path, so both
 /// produce the same analytic column). Windows are bucketed from the
 /// rank's staggered start, so the analytic model resamples exactly the
-/// windows the fixed-grid coupling walks.
+/// windows the fixed-grid coupling walks. Works for synthetic ranks
+/// too (their windows are closed-form surrogate queries).
 fn model_from_series(series: &RankSeries, granularity: Nanos) -> ScaleModel {
-    let nwindows = (series.horizon.saturating_sub(series.start) / granularity) as usize;
-    ScaleModel::from_windows(
-        granularity,
-        series.chart.bucket(series.start, granularity, nwindows),
-    )
+    ScaleModel::from_windows(granularity, series.windows(granularity))
+}
+
+/// Fit the surrogate (when the plan leaves synthetic ranks) and build
+/// the full rank population: mechanistic sample members keep their
+/// simulated series, every other rank is a synthetic draw against the
+/// shared surrogate. Start offsets and cluster-tier faults apply to
+/// both kinds identically — staggering and fault injection survive
+/// synthesis mechanically.
+fn assemble_series(
+    config: &ClusterConfig,
+    plan: &SamplePlan,
+    sample: Vec<RankSeries>,
+) -> (Vec<RankSeries>, Option<Arc<NoiseSurrogate>>) {
+    let surrogate = (!plan.is_full(config.nodes))
+        .then(|| Arc::new(NoiseSurrogate::fit(&sample, config.granularity)));
+    let mut mech: BTreeMap<usize, RankSeries> =
+        plan.mechanistic.iter().copied().zip(sample).collect();
+    let series = (0..config.nodes)
+        .map(|i| {
+            let s = match mech.remove(&i) {
+                Some(s) => s,
+                None => RankSeries::synthetic(SyntheticRank::new(
+                    surrogate
+                        .clone()
+                        .expect("synthetic rank outside a tiered plan"),
+                    derive_indexed_seed(config.seed, SYNTH_LABEL, i as u64),
+                )),
+            };
+            s.with_start(config.node_start(i))
+                .with_faults(config.rank_faults(i))
+        })
+        .collect();
+    (series, surrogate)
+}
+
+/// Validate the surrogate against its own ground truth: at power-of-2
+/// prefixes of the mechanistic sample, couple the sampled ranks as-is
+/// versus synthetic twins drawn at the same starts and faults. The
+/// twins use a draw-seed label distinct from the campaign's synthetic
+/// ranks, so validation never shares draws with the population it
+/// vouches for.
+fn validate_surrogate(
+    config: &ClusterConfig,
+    plan: &SamplePlan,
+    series: &[RankSeries],
+    surrogate: &Arc<NoiseSurrogate>,
+    params: &BspParams,
+) -> Vec<TierValidation> {
+    let cap = plan.mechanistic.len().min(VALIDATE_CAP);
+    let mut scales = Vec::new();
+    let mut v = 4;
+    while v <= cap {
+        scales.push(v);
+        v *= 2;
+    }
+    if scales.last() != Some(&cap) && cap >= 4 {
+        scales.push(cap);
+    }
+    scales
+        .into_iter()
+        .map(|v| {
+            let indices = &plan.mechanistic[..v];
+            let mech: Vec<RankSeries> = indices.iter().map(|&i| series[i].clone()).collect();
+            let twins: Vec<RankSeries> = indices
+                .iter()
+                .map(|&i| {
+                    RankSeries::synthetic(SyntheticRank::new(
+                        surrogate.clone(),
+                        derive_indexed_seed(config.seed, VALIDATE_LABEL, i as u64),
+                    ))
+                    .with_start(config.node_start(i))
+                    .with_faults(config.rank_faults(i))
+                })
+                .collect();
+            let m = CollectiveBreakdown::from_ranks(&mech, params).mean_max_noise;
+            let s = CollectiveBreakdown::from_ranks(&twins, params).mean_max_noise;
+            TierValidation {
+                nodes: v,
+                mechanistic_mean_max: m,
+                surrogate_mean_max: s,
+                ratio: if m.is_zero() {
+                    1.0
+                } else {
+                    s.as_nanos() as f64 / m.as_nanos() as f64
+                },
+            }
+        })
+        .collect()
 }
 
 /// The power-of-two sub-scales reported by the curve (always includes
@@ -601,23 +986,46 @@ fn curve_scales(n: usize) -> Vec<usize> {
 }
 
 /// Couple the rank series at every sub-scale and assemble the report.
-fn build_report(config: &ClusterConfig, series: &[RankSeries]) -> ClusterReport {
+/// Every coupling goes through the streamed
+/// [`CollectiveBreakdown::from_ranks`] fold — nothing O(ranks×phases)
+/// is materialized — and the analytic columns use the exact
+/// order-statistics estimator, whose cost is independent of the node
+/// count (Monte-Carlo resampling at 100k nodes would dwarf the
+/// coupling itself).
+fn build_report(
+    config: &ClusterConfig,
+    plan: &SamplePlan,
+    series: &[RankSeries],
+    surrogate: Option<&Arc<NoiseSurrogate>>,
+) -> ClusterReport {
     let params = config.bsp();
+    let tiered = !plan.is_full(config.nodes);
     // Analytic model: node 0's fixed-grid windows, the same input
     // `ScaleModel::from_run` would build.
     let model = series
         .first()
         .map(|s| model_from_series(s, config.granularity))
         .unwrap_or_else(|| ScaleModel::from_windows(config.granularity, Vec::new()));
-    let mc_seed = derive_seed(config.seed, "cluster-analytic");
     let g = config.granularity.as_nanos() as f64;
 
+    // The sub-scale curve solves and the fixed-grid differential are
+    // pure functions of `(series, params)`, independent of each other
+    // — and at 10k+ ranks they dominate the non-simulation wall time,
+    // so they fan out on the same worker pool as the node sims. Jobs
+    // gather by index, keeping reports byte-identical at any worker
+    // count.
+    let scales = curve_scales(config.nodes);
+    let mut breakdowns = indexed_parallel(scales.len() + 1, worker_count(config), |j| {
+        if j < scales.len() {
+            CollectiveBreakdown::from_ranks(&series[..scales[j]], &params)
+        } else {
+            CollectiveBreakdown::from_ranks(series, &params.fixed_grid())
+        }
+    });
+    let grid = breakdowns.pop().expect("fixed-grid job");
     let mut curve = Vec::new();
-    let mut full: Option<CollectiveBreakdown> = None;
-    for k in curve_scales(config.nodes) {
-        let run = couple(&series[..k], &params);
-        let b = CollectiveBreakdown::build(&run);
-        let analytic = model.expected_max_noise(k as u64, ANALYTIC_TRIALS, mc_seed);
+    for (&k, b) in scales.iter().zip(&breakdowns) {
+        let analytic = model.expected_max_noise_exact(k as u64);
         curve.push(ClusterScalePoint {
             nodes: k,
             phases: b.nphases,
@@ -629,36 +1037,90 @@ fn build_report(config: &ClusterConfig, series: &[RankSeries]) -> ClusterReport 
             dominant: b.dominant(),
             barrier_paid: b.barrier_paid.clone(),
         });
-        if k == config.nodes {
-            full = Some(b);
-        }
     }
-    let full = full.unwrap_or_else(|| CollectiveBreakdown::build(&couple(&[], &params)));
-    let analytic_expected_max =
-        model.expected_max_noise(config.nodes.max(1) as u64, ANALYTIC_TRIALS, mc_seed);
+    // `curve_scales` ends at the campaign's full scale, so the last
+    // breakdown doubles as the headline numbers.
+    let full = breakdowns
+        .pop()
+        .unwrap_or_else(|| CollectiveBreakdown::from_ranks(&[], &params));
+    let analytic_expected_max = model.expected_max_noise_exact(config.nodes.max(1) as u64);
     let mech = full.mean_max_noise.as_nanos() as f64;
     let ana = analytic_expected_max.as_nanos() as f64;
 
-    // The tight differential: fixed-grid coupling vs the analytic
-    // expectation over the pooled windows of all nodes. Both estimate
+    // The tight differential: fixed-grid coupling (solved above) vs
+    // the analytic expectation over pooled windows. Both estimate
     // E[max_N W] over the same empirical distribution; they differ
-    // only by Monte-Carlo error and with/without-replacement sampling.
-    let grid = CollectiveBreakdown::build(&couple(series, &params.fixed_grid()));
+    // only by with/without-replacement sampling. Pooling is capped —
+    // beyond a few hundred ranks more windows no longer move the
+    // estimate.
     let pooled_windows: Vec<Nanos> = series
         .iter()
-        .flat_map(|s| model_from_series(s, config.granularity).windows)
+        .take(POOL_CAP)
+        .flat_map(|s| s.windows(config.granularity))
         .collect();
     let pooled = ScaleModel::from_windows(config.granularity, pooled_windows);
-    let pooled_expected_max =
-        pooled.expected_max_noise(config.nodes.max(1) as u64, ANALYTIC_TRIALS, mc_seed);
+    let pooled_expected_max = pooled.expected_max_noise_exact(config.nodes.max(1) as u64);
     let grid_mean = grid.mean_max_noise.as_nanos() as f64;
     let pooled_ana = pooled_expected_max.as_nanos() as f64;
+
+    let (node_seeds, node_starts) = if tiered {
+        (
+            plan.mechanistic
+                .iter()
+                .map(|&i| config.node_seed(i))
+                .collect(),
+            plan.mechanistic
+                .iter()
+                .map(|&i| config.node_start(i))
+                .collect(),
+        )
+    } else {
+        (
+            (0..config.nodes).map(|i| config.node_seed(i)).collect(),
+            (0..config.nodes).map(|i| config.node_start(i)).collect(),
+        )
+    };
+    let (ranks, synthetic_ranks, tier) = if tiered {
+        let surrogate = surrogate.expect("tiered plan without a surrogate");
+        let validation = validate_surrogate(config, plan, series, surrogate, &params);
+        let mut mech_rows = Vec::with_capacity(plan.mechanistic.len());
+        let mut synth_rows = Vec::with_capacity(series.len() - plan.mechanistic.len());
+        let mut next_mech = plan.mechanistic.iter().copied().peekable();
+        for row in full.ranks {
+            if next_mech.peek() == Some(&row.rank) {
+                next_mech.next();
+                mech_rows.push(row);
+            } else {
+                synth_rows.push(row);
+            }
+        }
+        let meta = TierMeta {
+            mode: match config.tier {
+                Tier::Auto => "auto".to_string(),
+                _ => "sampled".to_string(),
+            },
+            sample_fraction: plan.mechanistic.len() as f64 / config.nodes.max(1) as f64,
+            strata: plan.strata,
+            mechanistic_nodes: plan.mechanistic.len(),
+            synthetic_nodes: config.nodes - plan.mechanistic.len(),
+            mechanistic_indices: plan.mechanistic.clone(),
+            validation,
+        };
+        (
+            mech_rows,
+            Some(RankSummary::fold(synth_rows.iter())),
+            Some(meta),
+        )
+    } else {
+        (full.ranks, None, None)
+    };
+
     ClusterReport {
         app: config.app,
         nodes: config.nodes,
         seed: config.seed,
-        node_seeds: (0..config.nodes).map(|i| config.node_seed(i)).collect(),
-        node_starts: (0..config.nodes).map(|i| config.node_start(i)).collect(),
+        node_seeds,
+        node_starts,
         duration: config.duration,
         granularity: config.granularity,
         phases: full.nphases,
@@ -679,30 +1141,64 @@ fn build_report(config: &ClusterConfig, series: &[RankSeries]) -> ClusterReport 
         pooled_expected_max,
         barrier_paid: full.barrier_paid,
         barrier_injected: full.barrier_injected,
-        ranks: full.ranks,
+        ranks,
+        synthetic_ranks,
+        tier,
         curve,
     }
 }
 
-/// Run the full mechanistic cluster campaign in memory: N node
-/// simulations in parallel, then the BSP coupling and report.
+/// Runtime options that do not affect results (progress reporting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOpts {
+    /// Print a progress line to stderr after every `n` completed node
+    /// simulations; `Some(0)` picks a stride of ~10% of the campaign.
+    pub progress_every: Option<usize>,
+}
+
+fn progress_stride(opts: RunOpts, total: usize) -> Option<usize> {
+    opts.progress_every
+        .map(|every| {
+            if every == 0 {
+                (total / 10).max(1)
+            } else {
+                every
+            }
+        })
+        .filter(|_| total > 1)
+}
+
+/// Run the cluster campaign in memory: the plan's mechanistic nodes
+/// simulate in parallel, the rest of the population (if any) is
+/// synthesized from the fitted surrogate, then the BSP coupling and
+/// report.
 pub fn run_cluster(config: &ClusterConfig) -> ClusterOutcome {
-    let nodes = indexed_parallel(config.nodes, worker_count(config), |i| {
-        run_app(config.node_experiment(i))
+    run_cluster_opts(config, RunOpts::default())
+}
+
+/// [`run_cluster`] with runtime options.
+pub fn run_cluster_opts(config: &ClusterConfig, opts: RunOpts) -> ClusterOutcome {
+    let plan = config.sample_plan();
+    let total = plan.mechanistic.len();
+    let stride = progress_stride(opts, total);
+    let done = AtomicUsize::new(0);
+    let nodes = indexed_parallel(total, worker_count(config), |k| {
+        let run = run_app(config.node_experiment(plan.mechanistic[k]));
+        if let Some(stride) = stride {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if d.is_multiple_of(stride) || d == total {
+                eprintln!("cluster: {d}/{total} mechanistic node simulations done");
+            }
+        }
+        run
     });
-    let series: Vec<RankSeries> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, run)| rank_series(run, config.node_start(i)).with_faults(config.rank_faults(i)))
-        .collect();
-    let collective = couple(&series, &config.bsp());
-    let breakdown = CollectiveBreakdown::build(&collective);
-    let report = build_report(config, &series);
+    let sample: Vec<RankSeries> = nodes.iter().map(bare_series).collect();
+    let (series, surrogate) = assemble_series(config, &plan, sample);
+    let report = build_report(config, &plan, &series, surrogate.as_ref());
     ClusterOutcome {
         config: config.clone(),
+        plan,
         nodes,
-        collective,
-        breakdown,
         report,
     }
 }
@@ -717,39 +1213,65 @@ pub fn run_cluster_stored(
     dir: &Path,
     opts: StoreOptions,
 ) -> io::Result<(ClusterReport, Vec<PathBuf>)> {
+    run_cluster_stored_opts(config, dir, opts, RunOpts::default())
+}
+
+/// [`run_cluster_stored`] with runtime options. Only the plan's
+/// mechanistic nodes are recorded (synthetic ranks have no trace), so
+/// a tiered 100k-rank campaign spills a sample-sized store.
+pub fn run_cluster_stored_opts(
+    config: &ClusterConfig,
+    dir: &Path,
+    opts: StoreOptions,
+    run_opts: RunOpts,
+) -> io::Result<(ClusterReport, Vec<PathBuf>)> {
     std::fs::create_dir_all(dir)?;
-    let paths: Vec<PathBuf> = (0..config.nodes)
+    let plan = config.sample_plan();
+    let total = plan.mechanistic.len();
+    let paths: Vec<PathBuf> = plan
+        .mechanistic
+        .iter()
         .map(|i| dir.join(format!("node-{i}.osn")))
         .collect();
-    let recorded = indexed_parallel(config.nodes, worker_count(config), |i| {
-        record_app(config.node_experiment(i), &paths[i], opts)
+    let stride = progress_stride(run_opts, total);
+    let done = AtomicUsize::new(0);
+    let recorded = indexed_parallel(total, worker_count(config), |k| {
+        let r = record_app(config.node_experiment(plan.mechanistic[k]), &paths[k], opts);
+        if let Some(stride) = stride {
+            let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if d.is_multiple_of(stride) || d == total {
+                eprintln!("cluster: {d}/{total} mechanistic node recordings done");
+            }
+        }
+        r
     });
     for r in &recorded {
         if let Err(e) = r {
             return Err(io::Error::new(e.kind(), e.to_string()));
         }
     }
-    let series = paths
+    let sample = paths
         .iter()
-        .enumerate()
-        .map(|(i, path)| {
-            stored_rank_series(path, config.node_start(i))
-                .map(|s| s.with_faults(config.rank_faults(i)))
-        })
+        .map(|path| stored_rank_series(path))
         .collect::<io::Result<Vec<_>>>()?;
-    Ok((build_report(config, &series), paths))
+    let (series, surrogate) = assemble_series(config, &plan, sample);
+    Ok((
+        build_report(config, &plan, &series, surrogate.as_ref()),
+        paths,
+    ))
 }
 
-/// Rebuild one node's rank series from its store file, out-of-core.
-fn stored_rank_series(path: &Path, start: Nanos) -> io::Result<RankSeries> {
+/// Rebuild one node's bare rank series from its store file,
+/// out-of-core.
+fn stored_rank_series(path: &Path) -> io::Result<RankSeries> {
     let reader = crate::store::Reader::open(path)?;
     let meta = StoredRunMeta::from_bytes(reader.metadata())?;
     let analysis = analyze_store(&reader, &meta.result)?;
     let observed = observed_rank_of(&analysis, &meta.ranks, meta.config.node.net_irq_cpu);
-    Ok(
-        RankSeries::new(NoiseChart::build(&analysis, observed), meta.result.end_time)
-            .with_start(start),
-    )
+    Ok(RankSeries::new(
+        NoiseChart::build(&analysis, observed),
+        meta.result.end_time,
+    ))
 }
 
 impl ClusterReport {
@@ -784,6 +1306,24 @@ impl ClusterReport {
             "  fixed-grid differential: {} vs pooled analytic {} (ratio {:.3})",
             self.grid_mean_max_noise, self.pooled_expected_max, self.grid_over_analytic
         );
+        if let Some(t) = &self.tier {
+            let _ = writeln!(
+                out,
+                "  tier: {} — {} mechanistic + {} synthetic ranks ({:.1}% sampled, {} strata)",
+                t.mode,
+                t.mechanistic_nodes,
+                t.synthetic_nodes,
+                t.sample_fraction * 100.0,
+                t.strata,
+            );
+            for v in &t.validation {
+                let _ = writeln!(
+                    out,
+                    "    surrogate validation @ {:>4} ranks: {} vs mechanistic {} (ratio {:.3})",
+                    v.nodes, v.surrogate_mean_max, v.mechanistic_mean_max, v.ratio
+                );
+            }
+        }
         let _ = writeln!(out, "\n  amplification curve (mechanistic vs analytic):");
         for p in &self.curve {
             let _ = writeln!(
@@ -833,6 +1373,19 @@ impl ClusterReport {
                 out,
                 "    rank {:>3}: compute {}  self-noise {}  wait {}  critical in {}/{} phases",
                 r.rank, r.compute, r.self_noise, r.wait, r.critical_phases, self.phases
+            );
+        }
+        if let Some(s) = &self.synthetic_ranks {
+            let _ = writeln!(
+                out,
+                "    synthetic ({} ranks): self-noise mean {} ± {} (max {})  wait mean {}  critical in {}/{} phases",
+                s.count,
+                s.mean_self_noise,
+                s.stddev_self_noise,
+                s.max_self_noise,
+                s.mean_wait,
+                s.critical_phases,
+                self.phases,
             );
         }
         out
@@ -1046,6 +1599,121 @@ mod tests {
             .iter()
             .all(|(_, d)| d.is_zero()));
         assert!(!healthy.report.render().contains("injected fault class"));
+    }
+
+    #[test]
+    fn parse_tier_covers_the_grammar() {
+        assert_eq!(parse_tier("mechanistic").unwrap(), Tier::Mechanistic);
+        assert_eq!(parse_tier("mech").unwrap(), Tier::Mechanistic);
+        assert_eq!(parse_tier("auto").unwrap(), Tier::Auto);
+        assert_eq!(parse_tier("sampled").unwrap(), Tier::Auto);
+        assert_eq!(
+            parse_tier("sampled:0.25").unwrap(),
+            Tier::Sampled { fraction: 0.25 }
+        );
+        assert_eq!(
+            parse_tier(" sampled:1.0 ").unwrap(),
+            Tier::Sampled { fraction: 1.0 }
+        );
+        assert!(parse_tier("sampled:0").is_err());
+        assert!(parse_tier("sampled:1.5").is_err());
+        assert!(parse_tier("sampled:x").is_err());
+        assert!(parse_tier("quantum").is_err());
+    }
+
+    #[test]
+    fn tier_field_defaults_on_old_configs_and_round_trips() {
+        let config = tiny(2);
+        let json = serde_json::to_string(&config).unwrap();
+        let idx = json.find(",\"tier\":").expect("tier serialized");
+        let tail = json[idx + 1..].find(',').map(|j| idx + 1 + j);
+        let stripped = match tail {
+            Some(j) => format!("{}{}", &json[..idx], &json[j..]),
+            None => format!("{}}}", &json[..idx]),
+        };
+        let back: ClusterConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.tier, Tier::Mechanistic);
+        for tier in [
+            Tier::Mechanistic,
+            Tier::Auto,
+            Tier::Sampled { fraction: 0.25 },
+        ] {
+            let mut with = tiny(2);
+            with.tier = tier;
+            let json = serde_json::to_string(&with).unwrap();
+            let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.tier, tier);
+        }
+    }
+
+    #[test]
+    fn sample_plan_is_stratified_deterministic_and_forced() {
+        let mut config = tiny(64);
+        config.tier = Tier::Sampled { fraction: 0.25 };
+        let plan = config.sample_plan();
+        assert_eq!(plan.mechanistic.len(), 16);
+        assert_eq!(plan.strata, 8);
+        assert!(
+            plan.mechanistic.windows(2).all(|w| w[0] < w[1]),
+            "sorted unique"
+        );
+        assert!(plan.mechanistic.iter().all(|&i| i < 64));
+        assert_eq!(plan, config.sample_plan(), "plan must be deterministic");
+        // Sample floor: tiny fractions clamp to MIN_SAMPLE.
+        config.tier = Tier::Sampled { fraction: 0.01 };
+        assert_eq!(config.sample_plan().mechanistic.len(), 8);
+        // A kernel-tier injection forces its node into the sample.
+        config.tier = Tier::Sampled { fraction: 0.25 };
+        config.inject.specs =
+            parse_inject_spec("steal:interval=5ms,duration=200us,node=63").unwrap();
+        assert!(config.sample_plan().mechanistic.contains(&63));
+        // A cluster-tier fault does not (it applies to synthetic ranks
+        // too).
+        config.inject.specs = parse_inject_spec("crash:node=62,at=1ms,down=1ms").unwrap();
+        let plan = config.sample_plan();
+        assert_eq!(plan.mechanistic.len(), 16);
+        // Full-coverage tiers collapse to the identity plan.
+        config.tier = Tier::Sampled { fraction: 1.0 };
+        assert_eq!(config.sample_plan(), SamplePlan::full(64));
+        config.tier = Tier::Auto;
+        assert_eq!(config.sample_plan(), SamplePlan::full(64));
+        config.tier = Tier::Mechanistic;
+        assert_eq!(config.sample_plan(), SamplePlan::full(64));
+    }
+
+    #[test]
+    fn tiered_run_reports_tier_metadata() {
+        let mut config = tiny(12);
+        config.tier = Tier::Sampled { fraction: 0.5 };
+        config.max_phases = 60;
+        let outcome = run_cluster(&config);
+        let r = &outcome.report;
+        // 0.5 * 12 = 6 clamps up to the MIN_SAMPLE floor of 8.
+        assert_eq!(outcome.plan.mechanistic.len(), 8);
+        let t = r.tier.as_ref().expect("tier metadata");
+        assert_eq!(t.mechanistic_nodes, 8);
+        assert_eq!(t.synthetic_nodes, 4);
+        assert_eq!(t.mechanistic_indices, outcome.plan.mechanistic);
+        assert!(!t.validation.is_empty(), "validation scales 4 and 8");
+        assert_eq!(t.validation.last().unwrap().nodes, 8);
+        let s = r.synthetic_ranks.as_ref().expect("synthetic summary");
+        assert_eq!(s.count, 4);
+        assert_eq!(r.ranks.len(), 8);
+        // Mechanistic rank rows carry global indices from the plan.
+        let rows: Vec<usize> = r.ranks.iter().map(|x| x.rank).collect();
+        assert_eq!(rows, outcome.plan.mechanistic);
+        assert_eq!(r.node_seeds.len(), 8);
+        assert!(r.render().contains("tier: sampled"));
+        assert!(r.render().contains("synthetic (4 ranks)"));
+        // An untiered run of the same campaign carries no tier rows.
+        let mech = run_cluster(&{
+            let mut c = tiny(12);
+            c.max_phases = 60;
+            c
+        });
+        assert!(mech.report.tier.is_none());
+        assert!(mech.report.synthetic_ranks.is_none());
+        assert_eq!(mech.report.ranks.len(), 12);
     }
 
     /// Cluster configs serialized before the `inject` field existed

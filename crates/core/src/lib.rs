@@ -22,8 +22,9 @@ pub mod store;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
 pub use cluster::{
-    parse_inject_spec, run_cluster, run_cluster_stored, ClusterConfig, ClusterInjections,
-    ClusterOutcome, ClusterReport, ClusterScalePoint, Injection,
+    parse_inject_spec, parse_tier, run_cluster, run_cluster_opts, run_cluster_stored,
+    run_cluster_stored_opts, ClusterConfig, ClusterInjections, ClusterOutcome, ClusterReport,
+    ClusterScalePoint, Injection, RankSummary, RunOpts, SamplePlan, Tier, TierMeta, TierValidation,
 };
 pub use experiment::{run_app, AppRun, ExperimentConfig};
 pub use figures::{

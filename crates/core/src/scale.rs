@@ -103,9 +103,47 @@ impl ScaleModel {
         Nanos((total / trials as u128) as u64)
     }
 
+    /// Exact `E[max over `nodes` samples]` under the empirical
+    /// distribution, via order statistics: with the `m` window values
+    /// sorted ascending, `P[max <= v_k] = (k/m)^N`, so
+    /// `E[max] = Σ_k v_k ((k/m)^N − ((k−1)/m)^N)`. Deterministic (no
+    /// Monte-Carlo seed) and O(m log m), independent of `nodes` — the
+    /// estimator the tiered cluster reports use so 100k-rank analytic
+    /// columns cost the same as 64-rank ones.
+    pub fn expected_max_noise_exact(&self, nodes: u64) -> Nanos {
+        if self.windows.is_empty() || nodes == 0 {
+            return Nanos::ZERO;
+        }
+        let mut sorted: Vec<u64> = self.windows.iter().map(|n| n.as_nanos()).collect();
+        sorted.sort_unstable();
+        let m = sorted.len() as f64;
+        let n = nodes as f64;
+        let mut acc = 0.0f64;
+        let mut cdf_prev = 0.0f64;
+        for (k, v) in sorted.iter().enumerate() {
+            let cdf = ((k + 1) as f64 / m).powf(n);
+            acc += *v as f64 * (cdf - cdf_prev);
+            cdf_prev = cdf;
+        }
+        Nanos(acc.round() as u64)
+    }
+
     /// One curve point.
     pub fn at(&self, nodes: u64, trials: u32, seed: u64) -> ScalePoint {
         let expected_max_noise = self.expected_max_noise(nodes, trials, seed);
+        let g = self.granularity.as_nanos() as f64;
+        let w = expected_max_noise.as_nanos() as f64;
+        ScalePoint {
+            nodes,
+            expected_max_noise,
+            slowdown: (g + w) / g,
+            efficiency: g / (g + w),
+        }
+    }
+
+    /// One curve point from the exact estimator.
+    pub fn at_exact(&self, nodes: u64) -> ScalePoint {
+        let expected_max_noise = self.expected_max_noise_exact(nodes);
         let g = self.granularity.as_nanos() as f64;
         let w = expected_max_noise.as_nanos() as f64;
         ScalePoint {
@@ -176,6 +214,28 @@ mod tests {
         assert_eq!(m.expected_max_noise(1_000, 100, 1), Nanos::ZERO);
         let p = m.at(1_000, 100, 1);
         assert_eq!(p.slowdown, 1.0);
+    }
+
+    #[test]
+    fn exact_estimator_agrees_with_monte_carlo() {
+        let m = model((0..100).map(|i| i * 997).collect());
+        for nodes in [1u64, 8, 64, 1024] {
+            let mc = m.expected_max_noise(nodes, 20_000, 11).as_nanos() as f64;
+            let exact = m.expected_max_noise_exact(nodes).as_nanos() as f64;
+            let tol = (exact * 0.02).max(500.0);
+            assert!(
+                (mc - exact).abs() <= tol,
+                "nodes {nodes}: mc {mc} exact {exact}"
+            );
+        }
+        // Exact special cases: E[max of 1] = mean; huge N saturates at
+        // the distribution maximum; empty model is zero.
+        let mean = m.mean_window_noise().as_nanos() as f64;
+        let e1 = m.expected_max_noise_exact(1).as_nanos() as f64;
+        assert!((e1 - mean).abs() <= 1.0, "{e1} vs {mean}");
+        assert_eq!(m.expected_max_noise_exact(1 << 40), Nanos(99 * 997));
+        assert_eq!(model(vec![]).expected_max_noise_exact(64), Nanos::ZERO);
+        assert_eq!(m.expected_max_noise_exact(0), Nanos::ZERO);
     }
 
     #[test]

@@ -35,6 +35,8 @@ echo "== bench-gate: store_throughput"
 target/release/store_throughput
 echo "== bench-gate: cluster_throughput"
 target/release/cluster_throughput
+echo "== bench-gate: cluster_scale"
+target/release/cluster_scale
 
 target/release/bench_gate "$baseline" . \
     --threshold "${OSN_GATE_THRESHOLD:-0.85}" \

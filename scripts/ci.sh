@@ -59,6 +59,27 @@ run_step clippy cargo clippy --offline --no-deps --all-targets "${FIRST_PARTY[@]
 run_step features-matrix features_matrix
 run_step test cargo test -q --offline
 run_step test-simd cargo test -q --offline -p osn-analysis --features simd
+
+# Fast tiered-cluster smoke: a 512-rank sampled campaign through the
+# release CLI must finish quickly, embed self-describing tier metadata
+# in --json, and print the tier section in the text report.
+tier_smoke() {
+    cargo build -q --release --offline -p osn-cli
+    local out
+    out="$(mktemp -d)"
+    target/release/osnoise cluster umt --nodes 512 --secs 1 --cpus 2 --seed 7 \
+        --tier sampled:0.125 --json "$out/tier.json" > "$out/report.txt"
+    local ok=0
+    grep -q '"sample_fraction"' "$out/tier.json" \
+        && grep -q '"validation"' "$out/tier.json" \
+        && grep -q 'tier' "$out/report.txt" || ok=1
+    if [[ $ok -ne 0 ]]; then
+        echo "ci: tiered smoke: tier metadata missing from report" >&2
+    fi
+    rm -rf "$out"
+    return $ok
+}
+run_step tier-smoke tier_smoke
 run_step doc-test cargo test -q --offline --doc
 run_step doc-lint env RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps "${FIRST_PARTY[@]}"
 
