@@ -37,6 +37,7 @@ pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};
 pub use par::{default_workers, parallel_map};
 pub use signature::{Drift, NoiseSignature, SignatureEntry};
 pub use stats::{
-    class_samples, class_samples_timed, class_stats, job_stats, EventClass, EventStats, JobStats,
+    class_histogram, class_samples, class_samples_timed, class_stats, job_stats, EventClass,
+    EventStats, JobStats,
 };
 pub use timeline::{Phase, PhaseSpan, TaskTimeline, Timelines};

@@ -244,6 +244,32 @@ pub fn class_stats(analysis: &NoiseAnalysis, tids: &[Tid], class: EventClass) ->
     EventStats::from_samples(&samples, wall)
 }
 
+/// Query-shaped entry point: one class's table row *and* its
+/// percentile-cut duration histogram from a single sample collection
+/// pass — what a catalog service answering `histogram?class=` needs
+/// from a cached analysis without re-running the full report assembly.
+/// Bit-identical to [`class_stats`] +
+/// [`Histogram::build`](crate::histogram::Histogram::build) over
+/// [`class_samples`] run separately.
+pub fn class_histogram(
+    analysis: &NoiseAnalysis,
+    tids: &[Tid],
+    class: EventClass,
+    bins: usize,
+    pct: f64,
+) -> (EventStats, crate::histogram::Histogram) {
+    let samples = class_samples(analysis, tids, class);
+    let wall = tids
+        .iter()
+        .filter_map(|t| analysis.tasks.get(t))
+        .map(|tn| tn.wall)
+        .max()
+        .unwrap_or(Nanos::ZERO);
+    let stats = EventStats::from_samples(&samples, wall);
+    let histogram = crate::histogram::Histogram::build(&samples, bins, pct);
+    (stats, histogram)
+}
+
 /// Streaming equivalent of [`EventStats::from_samples`]: count, total,
 /// min and max are order-independent and avg/freq derive from them, so
 /// accumulating per component is bit-identical to collecting the sample

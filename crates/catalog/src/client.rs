@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP/1.1 client: keep-alive `GET`s against one
+//! server. Used by the in-process service tests, the
+//! `catalog_throughput` bench, and the CI end-to-end smoke — it speaks
+//! exactly the dialect [`crate::http`] serves (`Content-Length`-framed
+//! responses).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One keep-alive connection to a catalog service.
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let mut client = Client { addr, stream: None };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true).ok();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Issue `GET target` and return `(status, body)`. If the server
+    /// closed our idle keep-alive connection, reconnect and retry once.
+    pub fn get(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        match self.try_get(target) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                self.reconnect()?;
+                self.try_get(target)
+            }
+        }
+    }
+
+    fn try_get(&mut self, target: &str) -> io::Result<(u16, Vec<u8>)> {
+        let stream = match &mut self.stream {
+            Some(s) => s,
+            None => {
+                self.reconnect()?;
+                self.stream.as_mut().expect("just connected")
+            }
+        };
+        let request = format!("GET {target} HTTP/1.1\r\nHost: osn-catalog\r\n\r\n");
+        stream.write_all(request.as_bytes())?;
+        stream.flush()?;
+
+        // Read the response head.
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length: Option<usize> = None;
+        let mut close = false;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            match name.trim().to_ascii_lowercase().as_str() {
+                "content-length" => content_length = value.trim().parse().ok(),
+                "connection" => close = value.trim().eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+        let len = content_length.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response without content-length",
+            )
+        })?;
+
+        // Read the body (part of it may already be buffered).
+        let mut body = buf.split_off(head_end + 4);
+        while body.len() < len {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+        if close {
+            self.stream = None;
+        }
+        Ok((status, body))
+    }
+}

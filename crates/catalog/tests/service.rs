@@ -1,0 +1,418 @@
+//! End-to-end service tests against a live in-process daemon:
+//! byte-identity of every endpoint with the offline library path
+//! (including under concurrent load), bounded chunk decoding for
+//! slices, and typed-error robustness for malformed requests, unknown
+//! ids, and stores appearing/disappearing mid-flight.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use osn_analysis::{class_histogram, EventClass, NoiseSignature};
+use osn_catalog::service::{
+    slice_events, CompareResponse, HistogramResponse, RunsResponse, SliceResponse, StatsResponse,
+};
+use osn_catalog::{Client, Service, ServiceConfig};
+use osn_core::report::PaperReport;
+use osn_core::store::Options;
+use osn_core::{analyze_store, record_app, ExperimentConfig, StoredRunMeta};
+use osn_kernel::ids::CpuId;
+use osn_kernel::time::Nanos;
+use osn_store::StoreReader;
+use osn_trace::Event;
+use osn_workloads::App;
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "osn-catalog-{tag}-{}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_config(app: App, seed: u64) -> ExperimentConfig {
+    let mut config = ExperimentConfig::paper(app, Nanos::from_millis(150)).with_seed(seed);
+    config.node.cpus = 2;
+    config.nranks = 2;
+    config
+}
+
+/// Small chunks so a narrow time window can actually skip chunks.
+fn store_opts() -> Options {
+    Options::default().with_chunk_capacity(256)
+}
+
+/// Offline twin of `/runs/{id}/report`: exactly what `osnoise analyze
+/// --json` writes.
+fn offline_report_bytes(path: &std::path::Path) -> Vec<u8> {
+    let (report, _meta, _recovery) = osn_core::recovered_report(path).unwrap();
+    serde_json::to_vec_pretty(&PaperReport { apps: vec![report] }).unwrap()
+}
+
+fn offline_analysis(
+    path: &std::path::Path,
+) -> (StoreReader, StoredRunMeta, osn_analysis::NoiseAnalysis) {
+    let (reader, _rec) = StoreReader::recover(path).unwrap();
+    let meta = StoredRunMeta::from_bytes(reader.metadata()).unwrap();
+    let analysis = analyze_store(&reader, &meta.result).unwrap();
+    (reader, meta, analysis)
+}
+
+#[test]
+fn service_end_to_end() {
+    let dir = tmpdir("e2e");
+    let path_a = dir.join("sphot.osn");
+    let path_b = dir.join("sub").join("amg.osn");
+    let path_c = dir.join("doomed.osn");
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    record_app(tiny_config(App::Sphot, 7), &path_a, store_opts()).unwrap();
+    record_app(tiny_config(App::Amg, 11), &path_b, store_opts()).unwrap();
+    record_app(tiny_config(App::Sphot, 13), &path_c, store_opts()).unwrap();
+    // A non-store .osn file must be skipped with a reason, not break
+    // the catalog.
+    std::fs::write(dir.join("junk.osn"), b"not a store at all").unwrap();
+
+    let mut config = ServiceConfig::new(dir.clone());
+    config.threads = 8;
+    config.rescan = None; // tests drive rescans via scan_now
+    let service = Service::start(config).unwrap();
+    assert_eq!(service.runs(), 3);
+    assert_eq!(service.skipped(), 1);
+    let addr = service.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+
+    // -- /runs: listing and filters ----------------------------------
+    let (status, body) = client.get("/runs").unwrap();
+    assert_eq!(status, 200);
+    let runs: RunsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(runs.count, 3);
+    assert_eq!(runs.skipped.len(), 1);
+    assert!(runs.skipped[0].path.contains("junk"));
+    let id_a = runs
+        .runs
+        .iter()
+        .find(|r| r.app == "sphot" && r.seed == 7)
+        .unwrap()
+        .id
+        .clone();
+    let id_b = runs
+        .runs
+        .iter()
+        .find(|r| r.app == "amg")
+        .unwrap()
+        .id
+        .clone();
+    let id_c = runs.runs.iter().find(|r| r.seed == 13).unwrap().id.clone();
+    let entry_a = runs.runs.iter().find(|r| r.id == id_a).unwrap().clone();
+    assert_eq!(entry_a.ncpus, 2);
+    assert_eq!(entry_a.nranks, 2);
+    assert!(entry_a.events > 0);
+    assert!(!entry_a.classes.is_empty());
+    let (status, body) = client.get("/runs?app=amg").unwrap();
+    assert_eq!(status, 200);
+    let filtered: RunsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(filtered.count, 1);
+    assert_eq!(filtered.runs[0].id, id_b);
+    let (status, _) = client.get("/runs?seed=notanumber").unwrap();
+    assert_eq!(status, 400);
+
+    // -- /runs/{id}/report: byte-identical to `analyze --json` -------
+    let expected_report_a = offline_report_bytes(&path_a);
+    let (status, body) = client.get(&format!("/runs/{id_a}/report")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body, expected_report_a,
+        "report bytes differ from offline path"
+    );
+
+    // -- /runs/{id}/slice: ≡ filtered cpu_stream walk, bounded decode
+    let (reader_a, meta_a, analysis_a) = offline_analysis(&path_a);
+    let span = reader_a.span().unwrap();
+    let quarter = (span.1.as_nanos() - span.0.as_nanos()) / 4;
+    let (t0, t1) = (span.0.as_nanos() + quarter, span.1.as_nanos() - quarter);
+    let (status, body) = client
+        .get(&format!("/runs/{id_a}/slice?t0={t0}&t1={t1}"))
+        .unwrap();
+    assert_eq!(status, 200);
+    let slice: SliceResponse = serde_json::from_slice(&body).unwrap();
+    // Expected events: a *full* walk of every cpu_stream, filtered by
+    // timestamp — the unindexed reference the seek path must match.
+    let mut streams: Vec<Vec<Event>> = Vec::new();
+    for c in 0..reader_a.ncpus() {
+        streams.push(
+            reader_a
+                .cpu_stream(CpuId(c as u16))
+                .filter(|e| e.t.as_nanos() >= t0 && e.t.as_nanos() < t1)
+                .collect(),
+        );
+    }
+    let expected_events = osn_trace::merge_streams(streams);
+    assert!(!expected_events.is_empty(), "window should contain events");
+    assert_eq!(slice.events, expected_events);
+    assert_eq!(slice.count, expected_events.len());
+    // The endpoint decoded only chunks overlapping [t0, t1).
+    assert!(
+        slice.chunks_decoded < slice.chunks_total,
+        "narrow window must skip chunks: decoded {} of {}",
+        slice.chunks_decoded,
+        slice.chunks_total
+    );
+    assert!(slice.chunks_decoded >= 1);
+    // And the whole response is byte-identical to the library path.
+    let (lib_events, lib_decoded, lib_total) =
+        slice_events(&reader_a, Nanos(t0), Nanos(t1), None, None);
+    let expected_slice = serde_json::to_vec_pretty(&SliceResponse {
+        run: id_a.clone(),
+        t0,
+        t1,
+        cpu: None,
+        class: None,
+        chunks_total: lib_total,
+        chunks_decoded: lib_decoded,
+        count: lib_events.len(),
+        events: lib_events,
+    })
+    .unwrap();
+    assert_eq!(body, expected_slice);
+
+    // Class + cpu filters.
+    let (status, body) = client
+        .get(&format!("/runs/{id_a}/slice?class=schedule&cpu=0"))
+        .unwrap();
+    assert_eq!(status, 200);
+    let slice: SliceResponse = serde_json::from_slice(&body).unwrap();
+    let (lib_events, _, _) = slice_events(
+        &reader_a,
+        span.0,
+        Nanos(span.1.as_nanos() + 1),
+        Some(CpuId(0)),
+        Some(EventClass::Schedule),
+    );
+    assert_eq!(slice.events, lib_events);
+    assert!(slice.events.iter().all(|e| e.cpu == CpuId(0)));
+
+    // -- /runs/{id}/histogram: ≡ class_histogram ---------------------
+    let (status, body) = client
+        .get(&format!("/runs/{id_a}/histogram?class=page_fault&bins=32"))
+        .unwrap();
+    assert_eq!(status, 200);
+    let (stats, histogram) =
+        class_histogram(&analysis_a, &meta_a.ranks, EventClass::PageFault, 32, 99.0);
+    let expected_hist = serde_json::to_vec_pretty(&HistogramResponse {
+        run: id_a.clone(),
+        class: "page_fault".to_string(),
+        bins: 32,
+        pct: 99.0,
+        stats,
+        histogram,
+    })
+    .unwrap();
+    assert_eq!(body, expected_hist);
+
+    // -- /compare: ≡ NoiseSignature distance/drift -------------------
+    let (_reader_b, meta_b, analysis_b) = offline_analysis(&path_b);
+    let sig_a = NoiseSignature::build(&analysis_a, &meta_a.ranks);
+    let sig_b = NoiseSignature::build(&analysis_b, &meta_b.ranks);
+    let (status, body) = client.get(&format!("/compare?a={id_a}&b={id_b}")).unwrap();
+    assert_eq!(status, 200);
+    let cmp: CompareResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(cmp.a, id_a);
+    assert_eq!(cmp.b, id_b);
+    assert!((cmp.distance - sig_a.distance(&sig_b)).abs() < 1e-12);
+    assert_eq!(cmp.a_total_ns, sig_a.total_noise.as_nanos());
+    assert_eq!(cmp.b_total_ns, sig_b.total_noise.as_nanos());
+    assert!(
+        !cmp.same_config,
+        "different app/seed must differ in config hash"
+    );
+
+    // -- /runs/{id}/paraver: ≡ write_full_prv ------------------------
+    let trace = reader_a.read_trace().unwrap();
+    let expected_prv = osn_paraver::write_full_prv(
+        &trace,
+        &analysis_a.instances,
+        &meta_a.result.tasks,
+        meta_a.result.end_time,
+    );
+    let (status, body) = client.get(&format!("/runs/{id_a}/paraver")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, expected_prv.as_bytes());
+
+    // -- byte-identity under concurrent load -------------------------
+    let expected_report_b = offline_report_bytes(&path_b);
+    std::thread::scope(|s| {
+        for worker in 0..8 {
+            let expected_report_a = &expected_report_a;
+            let expected_report_b = &expected_report_b;
+            let expected_slice = &expected_slice;
+            let id_a = &id_a;
+            let id_b = &id_b;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..6 {
+                    match (worker + round) % 3 {
+                        0 => {
+                            let (status, body) =
+                                client.get(&format!("/runs/{id_a}/report")).unwrap();
+                            assert_eq!(status, 200);
+                            assert_eq!(&body, expected_report_a);
+                        }
+                        1 => {
+                            let (status, body) =
+                                client.get(&format!("/runs/{id_b}/report")).unwrap();
+                            assert_eq!(status, 200);
+                            assert_eq!(&body, expected_report_b);
+                        }
+                        _ => {
+                            let (status, body) = client
+                                .get(&format!("/runs/{id_a}/slice?t0={t0}&t1={t1}"))
+                                .unwrap();
+                            assert_eq!(status, 200);
+                            assert_eq!(&body, expected_slice);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    // Bounded residency: the service's shared reader held at most one
+    // decoded chunk per in-flight stream — 8 client threads plus the
+    // analysis workers (≤ ncpus) bound the high-water mark.
+    let snapshot = service.store_stats(&id_a).expect("reader cached");
+    assert_eq!(snapshot.resident, 0, "all streams released their chunks");
+    assert!(
+        snapshot.peak_resident <= 8 + reader_a.ncpus(),
+        "peak residency {} exceeds in-flight bound",
+        snapshot.peak_resident
+    );
+    assert_eq!(snapshot.decode_errors, 0);
+
+    // -- robustness: typed errors, never a panic ---------------------
+    let (status, _) = client.get("/runs/no-such-run/report").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.get("/nope").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.get(&format!("/runs/{id_a}/slice?cpu=99")).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get(&format!("/runs/{id_a}/slice?t0=abc")).unwrap();
+    assert_eq!(status, 400);
+    let (status, body) = client
+        .get(&format!("/runs/{id_a}/histogram?class=bogus"))
+        .unwrap();
+    assert_eq!(status, 400);
+    assert!(
+        String::from_utf8_lossy(&body).contains("page_fault"),
+        "400 lists valid classes"
+    );
+    let (status, _) = client.get(&format!("/runs/{id_a}/histogram")).unwrap();
+    assert_eq!(status, 400);
+    let (status, _) = client.get("/compare?a=only").unwrap();
+    assert_eq!(status, 400);
+
+    // Method not allowed.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"POST /runs HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi")
+        .unwrap();
+    let mut resp = String::new();
+    raw.read_to_string(&mut resp).unwrap();
+    assert!(resp.contains("HTTP/1.1 405"), "{resp}");
+    // Garbage request.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"\x00\x01garbage\r\n\r\n").unwrap();
+    let mut resp = Vec::new();
+    raw.read_to_end(&mut resp).unwrap();
+    assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 400"));
+
+    // -- stores disappearing mid-flight ------------------------------
+    // Never-queried store vanishes: catalog still lists it, but
+    // touching its bytes answers 410 Gone until the next rescan.
+    std::fs::remove_file(&path_c).unwrap();
+    let (status, _) = client.get(&format!("/runs/{id_c}/report")).unwrap();
+    assert_eq!(status, 410);
+    let outcome = service.scan_now().unwrap();
+    assert_eq!(outcome.removed, 1);
+    let (status, _) = client.get(&format!("/runs/{id_c}/report")).unwrap();
+    assert_eq!(status, 404);
+
+    // -- stores appearing mid-flight ---------------------------------
+    let path_d = dir.join("late.osn");
+    record_app(tiny_config(App::Sphot, 17), &path_d, store_opts()).unwrap();
+    let outcome = service.scan_now().unwrap();
+    assert_eq!(outcome.indexed, 1);
+    let (status, body) = client.get("/runs?seed=17").unwrap();
+    assert_eq!(status, 200);
+    let late: RunsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(late.count, 1);
+    let (status, body) = client
+        .get(&format!("/runs/{}/report", late.runs[0].id))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, offline_report_bytes(&path_d));
+
+    // -- /stats observed all of it -----------------------------------
+    let (status, body) = client.get("/stats").unwrap();
+    assert_eq!(status, 200);
+    let stats: StatsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(stats.runs, 3); // a, b, d
+    let by_name = |name: &str| {
+        stats
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint.contains(name))
+            .unwrap()
+            .clone()
+    };
+    assert!(by_name("report").requests >= 10);
+    assert!(by_name("slice").requests >= 10);
+    assert!(by_name("report").errors >= 2, "404/410 counted as errors");
+    assert!(by_name("{id}/histogram").requests >= 3);
+
+    drop(client);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second service starting over the same root must reuse the
+/// persisted index (no re-analysis), and the index survives entries
+/// round-tripping through JSON.
+#[test]
+fn persistent_index_reuse() {
+    let dir = tmpdir("persist");
+    record_app(
+        tiny_config(App::Sphot, 5),
+        &dir.join("one.osn"),
+        store_opts(),
+    )
+    .unwrap();
+
+    let mut config = ServiceConfig::new(dir.clone());
+    config.rescan = None;
+    let first = Service::start(config.clone()).unwrap();
+    assert_eq!(first.runs(), 1);
+    let addr = first.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let (_, body) = client.get("/runs").unwrap();
+    let first_listing: RunsResponse = serde_json::from_slice(&body).unwrap();
+    drop(client);
+    first.shutdown();
+
+    assert!(dir.join(".osn-catalog.json").exists());
+    let second = Service::start(config).unwrap();
+    assert_eq!(second.runs(), 1);
+    let outcome = second.scan_now().unwrap();
+    assert_eq!(outcome.reused, 1);
+    assert_eq!(outcome.indexed, 0);
+    let mut client = Client::connect(second.addr()).unwrap();
+    let (_, body) = client.get("/runs").unwrap();
+    let second_listing: RunsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(first_listing.runs, second_listing.runs);
+    drop(client);
+    second.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -8,8 +8,9 @@
 //! osnoise disambiguate <app> [--tolerance NS]            §V-A confusable pairs (Fig 10)
 //! osnoise overhead [--secs N]                            §III-A instrumentation overhead
 //! osnoise record <app> <out.osn> [--secs N]              trace to a chunked store file (streaming)
-//! osnoise analyze <in.osn>                               out-of-core report from a store file
-//! osnoise info <in.osn>                                  store file layout and contents
+//! osnoise analyze <in.osn> [--json FILE]                 out-of-core report from a store file
+//! osnoise info <path>... [--json FILE]                   store layout/contents (files or dirs)
+//! osnoise serve <dir> [--addr A] [--threads N]           catalog + HTTP query service
 //! osnoise cluster <app> [--nodes N] [--secs N]           tiered multi-node BSP campaign
 //! ```
 
@@ -88,6 +89,7 @@ fn main() -> ExitCode {
         Some("record") => cmd_record(&args),
         Some("analyze") => cmd_analyze(&args),
         Some("info") => cmd_info(&args),
+        Some("serve") => cmd_serve(&args),
         Some("cluster") => cmd_cluster(&args),
         _ => {
             eprintln!("{}", HELP);
@@ -102,8 +104,9 @@ USAGE:
   osnoise campaign [--secs N] [--seed S] [--json FILE] [--store DIR]
   osnoise app <amg|irs|lammps|sphot|umt> [--secs N] [--seed S]
   osnoise record <app> <out.osn> [--secs N] [--seed S] [--chunk EVENTS] [--codec raw|delta]
-  osnoise analyze <in.osn>
-  osnoise info <in.osn>
+  osnoise analyze <in.osn> [--json FILE]
+  osnoise info <path>... [--json FILE]
+  osnoise serve <dir> [--addr HOST:PORT] [--threads N] [--rescan-ms MS] [--cache N]
   osnoise ftq [--samples N] [--seed S]
   osnoise export <app> --out DIR [--secs N]
   osnoise disambiguate <app> [--tolerance NS] [--secs N]
@@ -114,6 +117,18 @@ USAGE:
                   [--cpus C] [--workers W] [--max-phases P] [--stagger on|off]
                   [--tier mechanistic|auto|sampled:<frac>] [--progress N]
                   [--json FILE] [--store DIR] [--inject SPEC]
+
+SERVE:
+  `osnoise serve DIR` indexes every .osn store under DIR (recursively,
+  re-scanning on change) and answers HTTP GETs with the same JSON the
+  offline commands produce:
+    /runs[?app=&seed=&ncpus=&config_hash=&recovered=]   indexed runs
+    /runs/{id}/report                                   == analyze --json
+    /runs/{id}/slice?t0=&t1=&class=&cpu=                event time-slice
+    /runs/{id}/histogram?class=[&bins=&pct=]            duration histogram
+    /runs/{id}/paraver                                  Paraver .prv export
+    /compare?a=&b=[&threshold=]                         signature distance/drift
+    /stats                                              per-endpoint counters
 
 TIERS:
   --tier mechanistic      every node simulated in full (default)
@@ -500,6 +515,21 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     let full = PaperReport {
         apps: vec![report.clone()],
     };
+    if let Some(out) = args.flags.get("json") {
+        // The same bytes `osnoise serve` answers on /runs/{id}/report.
+        match serde_json::to_vec_pretty(&full) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(out, bytes) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "{} — {} ranks, wall {} (streamed out-of-core analysis)",
         meta.config.app.name().to_uppercase(),
@@ -525,19 +555,102 @@ fn cmd_analyze(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_info(args: &Args) -> ExitCode {
-    let Some(path) = args.positional.get(1) else {
-        eprintln!("{HELP}");
-        return ExitCode::FAILURE;
-    };
-    let path = std::path::Path::new(path);
-    let (reader, recovery) = match osn_core::store::Reader::recover(path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot open {}: {e}", path.display());
-            return ExitCode::FAILURE;
+/// Expand one `info` argument: a `.osn` file stands alone, a directory
+/// contributes every `.osn` file beneath it (sorted for stable output).
+fn collect_store_paths(input: &str, out: &mut Vec<std::path::PathBuf>) {
+    let path = std::path::PathBuf::from(input);
+    if !path.is_dir() {
+        out.push(path);
+        return;
+    }
+    let mut found = Vec::new();
+    let mut dirs = vec![path];
+    while let Some(dir) = dirs.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                dirs.push(p);
+            } else if p.extension().is_some_and(|x| x == "osn") {
+                found.push(p);
+            }
         }
-    };
+    }
+    found.sort();
+    out.extend(found);
+}
+
+/// One opened store, or why it would not open.
+type StoreInfo = (
+    std::path::PathBuf,
+    Result<(osn_core::store::Reader, osn_core::store::RecoveryReport), String>,
+);
+
+fn info_json(stores: &[StoreInfo]) -> serde::Value {
+    use serde::{Serialize, Value};
+    let items = stores
+        .iter()
+        .map(|(path, opened)| {
+            let mut fields: Vec<(String, Value)> =
+                vec![("path".into(), Value::Str(path.display().to_string()))];
+            match opened {
+                Err(e) => fields.push(("error".into(), Value::Str(e.clone()))),
+                Ok((reader, recovery)) => {
+                    let span = match reader.span() {
+                        None => Value::Null,
+                        Some((start, end)) => Value::Map(vec![
+                            ("start_ns".into(), Value::U64(start.as_nanos())),
+                            ("end_ns".into(), Value::U64(end.as_nanos())),
+                        ]),
+                    };
+                    let payload: u64 = reader.chunks().iter().map(|c| c.payload_len as u64).sum();
+                    fields.extend([
+                        ("cpus".into(), Value::U64(reader.ncpus() as u64)),
+                        (
+                            "chunk_capacity".into(),
+                            Value::U64(reader.chunk_capacity() as u64),
+                        ),
+                        ("chunks".into(), Value::U64(reader.chunks().len() as u64)),
+                        ("events".into(), Value::U64(reader.events())),
+                        ("lost".into(), Value::U64(reader.lost().iter().sum())),
+                        ("payload_bytes".into(), Value::U64(payload)),
+                        ("span".into(), span),
+                        (
+                            "recovery".into(),
+                            Value::Map(vec![
+                                ("clean".into(), Value::Bool(recovery.clean())),
+                                (
+                                    "torn_chunks".into(),
+                                    Value::U64(recovery.torn_chunks as u64),
+                                ),
+                                ("torn_events".into(), Value::U64(recovery.torn_events)),
+                                ("dropped_bytes".into(), Value::U64(recovery.dropped_bytes)),
+                                ("footer_ok".into(), Value::Bool(recovery.footer_ok)),
+                            ]),
+                        ),
+                        (
+                            "run_meta".into(),
+                            match osn_core::StoredRunMeta::from_bytes(reader.metadata()) {
+                                Ok(meta) => meta.to_value(),
+                                Err(_) => Value::Null,
+                            },
+                        ),
+                    ]);
+                }
+            }
+            Value::Map(fields)
+        })
+        .collect();
+    Value::Seq(items)
+}
+
+fn info_detail(
+    path: &std::path::Path,
+    reader: &osn_core::store::Reader,
+    recovery: &osn_core::store::RecoveryReport,
+) {
     println!("{}:", path.display());
     println!("  cpus:            {}", reader.ncpus());
     println!("  chunk capacity:  {} events", reader.chunk_capacity());
@@ -581,7 +694,140 @@ fn cmd_info(args: &Args) -> ExitCode {
             },
         );
     }
+}
+
+fn info_row(
+    path: &std::path::Path,
+    opened: &Result<(osn_core::store::Reader, osn_core::store::RecoveryReport), String>,
+) {
+    match opened {
+        Err(e) => println!("{:<44} unreadable: {e}", path.display()),
+        Ok((reader, recovery)) => {
+            let run = match osn_core::StoredRunMeta::from_bytes(reader.metadata()) {
+                Ok(meta) => format!(
+                    "{} x{} seed {:#x}",
+                    meta.config.app.name(),
+                    meta.ranks.len(),
+                    meta.config.node.seed
+                ),
+                Err(_) => "(no metadata)".to_string(),
+            };
+            println!(
+                "{:<44} {:>2} cpus {:>9} events {:>5} chunks {:>5} lost  {}{}",
+                path.display(),
+                reader.ncpus(),
+                reader.events(),
+                reader.chunks().len(),
+                reader.lost().iter().sum::<u64>(),
+                run,
+                if recovery.clean() {
+                    ""
+                } else {
+                    "  [recovered]"
+                },
+            );
+        }
+    }
+}
+
+fn cmd_info(args: &Args) -> ExitCode {
+    if args.positional.len() < 2 {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    }
+    let mut paths = Vec::new();
+    for input in &args.positional[1..] {
+        collect_store_paths(input, &mut paths);
+    }
+    if paths.is_empty() {
+        eprintln!("no .osn stores found");
+        return ExitCode::FAILURE;
+    }
+    let stores: Vec<StoreInfo> = paths
+        .into_iter()
+        .map(|path| {
+            let opened = osn_core::store::Reader::recover(&path).map_err(|e| e.to_string());
+            (path, opened)
+        })
+        .collect();
+
+    if let Some(out) = args.flags.get("json") {
+        let json = match serde_json::to_string_pretty(&info_json(&stores)) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let written = if out.is_empty() || out == "-" {
+            println!("{json}");
+            Ok(())
+        } else {
+            std::fs::write(out, json.as_bytes())
+        };
+        if let Err(e) = written {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else if stores.len() == 1 {
+        match &stores[0].1 {
+            Ok((reader, recovery)) => info_detail(&stores[0].0, reader, recovery),
+            Err(e) => {
+                eprintln!("cannot open {}: {e}", stores[0].0.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for (path, opened) in &stores {
+            info_row(path, opened);
+        }
+    }
+    if stores.iter().any(|(_, opened)| opened.is_err()) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let Some(dir) = args.positional.get(1) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let mut config = osn_catalog::ServiceConfig::new(std::path::PathBuf::from(dir));
+    if let Some(addr) = args.flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    if let Some(threads) = args.flags.get("threads").and_then(|s| s.parse().ok()) {
+        config.threads = std::cmp::max(threads, 1);
+    }
+    if let Some(ms) = args
+        .flags
+        .get("rescan-ms")
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        config.rescan = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    if let Some(cache) = args.flags.get("cache").and_then(|s| s.parse().ok()) {
+        config.cache_runs = std::cmp::max(cache, 1);
+    }
+    match osn_catalog::Service::start(config) {
+        Ok(service) => {
+            println!(
+                "catalog: {} run(s) indexed, {} skipped",
+                service.runs(),
+                service.skipped()
+            );
+            println!("serving on http://{}", service.addr());
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+            service.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot serve {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_cluster(args: &Args) -> ExitCode {

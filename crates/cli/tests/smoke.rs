@@ -234,3 +234,97 @@ fn cluster_store_spills_one_osn_per_node_and_json_report() {
     assert!(report.slowdown >= 1.0);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `info` over directories and multiple paths: one row per store, and
+/// `--json` exposes the full footer metadata (config + result + ranks).
+#[test]
+fn info_walks_directories_and_exposes_run_meta_json() {
+    let dir = tmpdir("info-multi");
+    let nested = dir.join("sub");
+    std::fs::create_dir_all(&nested).unwrap();
+    let a = dir.join("sphot.osn");
+    let b = nested.join("amg.osn");
+    for (app, path, seed) in [("sphot", &a, "5"), ("amg", &b, "9")] {
+        let out = osnoise(&[
+            "record",
+            app,
+            path.to_str().unwrap(),
+            "--secs",
+            "1",
+            "--seed",
+            seed,
+        ]);
+        assert!(
+            out.status.success(),
+            "record {app} failed: {}",
+            stdout(&out)
+        );
+    }
+
+    // A directory argument recurses; two stores → two summary rows.
+    let out = osnoise(&["info", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "info dir failed: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("sphot.osn") && text.contains("amg.osn"),
+        "{text}"
+    );
+    assert!(
+        text.contains("seed 0x5") && text.contains("seed 0x9"),
+        "{text}"
+    );
+    assert_eq!(text.lines().count(), 2, "one row per store: {text}");
+
+    // Explicit multiple paths work the same.
+    let out = osnoise(&["info", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 2);
+
+    // --json exposes StoredRunMeta per store.
+    let json_path = dir.join("info.json");
+    let out = osnoise(&[
+        "info",
+        dir.to_str().unwrap(),
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "info --json failed: {}", stdout(&out));
+    let value: serde::Value = serde_json::from_slice(&std::fs::read(&json_path).unwrap()).unwrap();
+    let serde::Value::Seq(items) = value else {
+        panic!("info --json must be an array");
+    };
+    assert_eq!(items.len(), 2);
+    for item in &items {
+        let serde::Value::Map(fields) = item else {
+            panic!("per-store object expected");
+        };
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing field {name}"))
+        };
+        assert!(matches!(get("events"), serde::Value::U64(n) if *n > 0));
+        let serde::Value::Map(meta) = get("run_meta") else {
+            panic!("run_meta must carry the footer StoredRunMeta");
+        };
+        for key in ["config", "result", "ranks"] {
+            assert!(meta.iter().any(|(k, _)| k == key), "run_meta missing {key}");
+        }
+    }
+
+    // A damaged store yields an error row and a failing exit, but the
+    // healthy rows still print.
+    let bytes = std::fs::read(&b).unwrap();
+    std::fs::write(&b, &bytes[..16]).unwrap();
+    let out = osnoise(&["info", dir.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "unreadable store must fail the exit code"
+    );
+    let text = stdout(&out);
+    assert!(text.contains("sphot.osn"), "healthy row missing: {text}");
+    assert!(text.contains("unreadable"), "error row missing: {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -399,7 +399,18 @@ impl StoreReader {
     /// [`ChunkStats`]). A chunk that fails validation poisons the
     /// stream: it ends early and `stats().decode_errors` goes nonzero.
     pub fn cpu_stream(&self, cpu: CpuId) -> CpuStream {
-        let metas: Vec<ChunkMeta> = self.chunks_for(cpu, None).copied().collect();
+        self.cpu_stream_range(cpu, None)
+    }
+
+    /// Like [`StoreReader::cpu_stream`], but seeded only with the
+    /// chunks whose `[t_first, t_last]` span overlaps `[lo, hi]` (via
+    /// the [`StoreReader::chunks_for`] index lookup — no file access to
+    /// skip a chunk). Events outside the range at the edges of the
+    /// first/last chunk are still yielded; callers filter by timestamp.
+    /// Same bounded-memory contract: at most one decoded chunk
+    /// resident, tracked by the reader's [`ChunkStats`].
+    pub fn cpu_stream_range(&self, cpu: CpuId, range: Option<(Nanos, Nanos)>) -> CpuStream {
+        let metas: Vec<ChunkMeta> = self.chunks_for(cpu, range).copied().collect();
         CpuStream {
             data: Arc::clone(&self.data),
             metas,
@@ -468,6 +479,12 @@ pub struct CpuStream {
 }
 
 impl CpuStream {
+    /// Chunks this stream was seeded with (for range streams: only the
+    /// chunks overlapping the requested window — the decode budget).
+    pub fn chunk_count(&self) -> usize {
+        self.metas.len()
+    }
+
     /// Total events this stream will yield if no chunk is corrupt.
     pub fn remaining_events(&self) -> u64 {
         let buffered = (self.buf.len() - self.pos) as u64;

@@ -37,6 +37,8 @@ echo "== bench-gate: cluster_throughput"
 target/release/cluster_throughput
 echo "== bench-gate: cluster_scale"
 target/release/cluster_scale
+echo "== bench-gate: catalog_throughput"
+target/release/catalog_throughput
 
 target/release/bench_gate "$baseline" . \
     --threshold "${OSN_GATE_THRESHOLD:-0.85}" \

@@ -51,6 +51,10 @@ run_bench engine_throughput
 run_bench analysis_throughput
 run_bench store_throughput
 run_bench cluster_throughput
+# Catalog service: queries/s at 1/4/16 concurrent clients over a mixed
+# endpoint workload (BENCH_PR9.json); every report response is
+# byte-checked against the offline analysis under load.
+run_bench catalog_throughput
 # Tiered scaling: validation scales + the 10k-rank point only — the
 # 100k point is for published BENCH_PR8.json runs, not the smoke loop.
 OSN_SCALE_MAX=10000 run_bench cluster_scale
@@ -87,4 +91,4 @@ grep -q "barrier paid by injected fault class" "$inject_dir/out-1.txt" || {
 rm -rf "$inject_dir"
 echo "== bench_smoke: fault injection OK"
 
-echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR8.json)"
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR8.json, BENCH_PR9.json)"

@@ -23,6 +23,7 @@ FIRST_PARTY=(
     -p osn-ftq
     -p osn-paraver
     -p osn-bench
+    -p osn-catalog
     -p osn-cli
     -p osnoise
 )
@@ -80,6 +81,12 @@ tier_smoke() {
     return $ok
 }
 run_step tier-smoke tier_smoke
+
+# End-to-end daemon smoke, release profile: spawn `osnoise serve` on
+# an ephemeral port, drive every endpoint once from the Rust catalog
+# client, and assert the /runs/{id}/report bytes equal what
+# `osnoise analyze --json` writes (crates/cli/tests/serve.rs).
+run_step serve-smoke cargo test -q --offline --release -p osn-cli --test serve
 run_step doc-test cargo test -q --offline --doc
 run_step doc-lint env RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps "${FIRST_PARTY[@]}"
 

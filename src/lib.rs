@@ -16,6 +16,8 @@
 //!   synthetic noise charts, disambiguation.
 //! * [`store`] — chunked on-disk trace store: spill-to-disk recording,
 //!   footer-indexed chunk files, out-of-core streamed analysis.
+//! * [`catalog`] — trace catalog + HTTP query service over a
+//!   directory of store files (`osnoise serve`).
 //! * [`paraver`] — Paraver `.prv`/`.pcf`/`.row` and CSV exports.
 //! * [`ftq`] — the FTQ microbenchmark (simulated and native).
 //! * [`workloads`] — LLNL Sequoia behavioural models.
@@ -35,6 +37,7 @@
 //! ```
 
 pub use osn_analysis as analysis;
+pub use osn_catalog as catalog;
 pub use osn_core as core;
 pub use osn_ftq as ftq;
 pub use osn_kernel as kernel;
