@@ -35,7 +35,7 @@ pub use histogram::Histogram;
 pub use nesting::{ActivityInstance, ColumnPairing, NestingReport};
 pub use noise::{Component, Interruption, NoiseAnalysis, TaskNoise};
 pub use par::{default_workers, parallel_map};
-pub use signature::{Drift, NoiseSignature, SignatureEntry};
+pub use signature::{comparison_table, Drift, NoiseSignature, SignatureEntry};
 pub use stats::{
     class_histogram, class_samples, class_samples_timed, class_stats, job_stats, EventClass,
     EventStats, JobStats,

@@ -123,6 +123,62 @@ pub struct Drift {
     pub mean_ratio: f64,
 }
 
+/// Render two signatures side by side — the modeled-vs-native
+/// comparison table: per event class, frequency / mean duration /
+/// share under each label, for every class present in either
+/// signature, with the total-noise and composition-distance footer.
+pub fn comparison_table(
+    label_a: &str,
+    a: &NoiseSignature,
+    label_b: &str,
+    b: &NoiseSignature,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10}  {:>10} {:>10}  {:>7} {:>7}",
+        "event class", label_a, label_b, "mean", "mean", "share", "share"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10}  {:>10} {:>10}  {:>7} {:>7}",
+        "", "(ev/s)", "(ev/s)", "(us)", "(us)", "", ""
+    );
+    for class in EventClass::ALL {
+        let ea = a.entry(class).filter(|e| e.freq_per_sec > 0.0);
+        let eb = b.entry(class).filter(|e| e.freq_per_sec > 0.0);
+        if ea.is_none() && eb.is_none() {
+            continue;
+        }
+        let cell = |e: Option<&SignatureEntry>| match e {
+            Some(e) => (e.freq_per_sec, e.mean_ns / 1_000.0, e.share * 100.0),
+            None => (0.0, 0.0, 0.0),
+        };
+        let (fa, ma, sa) = cell(ea);
+        let (fb, mb, sb) = cell(eb);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10.1} {:>10.1}  {:>10.2} {:>10.2}  {:>6.1}% {:>6.1}%",
+            class.name(),
+            fa,
+            fb,
+            ma,
+            mb,
+            sa,
+            sb
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total noise: {} ({label_a}) vs {} ({label_b}); composition distance {:.3}",
+        a.total_noise,
+        b.total_noise,
+        a.distance(b)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +242,28 @@ mod tests {
         assert_eq!(drifts.len(), 1);
         assert_eq!(drifts[0].class, EventClass::NetRxAction);
         assert!(drifts[0].freq_ratio.is_infinite());
+    }
+
+    #[test]
+    fn comparison_table_lists_union_of_classes() {
+        let modeled = sig(&[
+            (EventClass::TimerInterrupt, 1000.0, 3000.0, 0.6),
+            (EventClass::PageFault, 200.0, 2000.0, 0.4),
+        ]);
+        let native = sig(&[
+            (EventClass::TimerInterrupt, 900.0, 3500.0, 0.5),
+            (EventClass::Steal, 10.0, 50000.0, 0.5),
+        ]);
+        let table = comparison_table("modeled", &modeled, "native", &native);
+        assert!(table.contains("modeled"), "{table}");
+        assert!(table.contains("native"), "{table}");
+        assert!(table.contains(EventClass::TimerInterrupt.name()), "{table}");
+        // Classes present on only one side still get a row.
+        assert!(table.contains(EventClass::PageFault.name()), "{table}");
+        assert!(table.contains(EventClass::Steal.name()), "{table}");
+        assert!(table.contains("composition distance"), "{table}");
+        // Classes present in neither signature are omitted.
+        assert!(!table.contains(EventClass::NetRxAction.name()), "{table}");
     }
 
     #[test]

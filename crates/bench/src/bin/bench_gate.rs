@@ -13,7 +13,13 @@
 //! above the threshold (default 0.85, i.e. at most a 15% aggregate
 //! regression) AND no single metric falls below the per-metric floor
 //! (default 0.70 — a collapse in one metric cannot hide behind five
-//! healthy ones). Exit code 0 = pass, 1 = regression or missing data.
+//! healthy ones).
+//!
+//! On ANY failure the full per-metric table is still printed — every
+//! metric with its old value, new value, score, direction, and
+//! verdict — so one look at a red CI log shows the complete picture,
+//! not just the first offender. Exit code 0 = pass, 1 = regression or
+//! missing data.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -24,7 +30,20 @@ const LOWER_IS_BETTER: &[&str] = &[
     "aggregate_streamed_over_in_memory",
     "aggregate_streamed_over_resident",
     "aggregate_validation_ratio_error",
+    "aggregate_capture_overhead_ns",
 ];
+
+/// One scored (or unscorable) metric row of the final table.
+struct Row {
+    file: String,
+    key: String,
+    base: Option<f64>,
+    new: Option<f64>,
+    /// `None` when the metric could not be scored (missing / non-positive).
+    score: Option<f64>,
+    verdict: &'static str,
+    failing: bool,
+}
 
 /// Pull the top-level `"aggregate_*": <number>` pairs out of a bench
 /// JSON without a full parser (the vendored serde shim exposes no
@@ -56,6 +75,13 @@ fn aggregates(text: &str) -> Vec<(String, f64)> {
         i = j.max(start + len + 1);
     }
     out
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.3}"),
+        None => "-".into(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -103,15 +129,14 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let mut log_sum = 0.0f64;
-    let mut nmetrics = 0usize;
-    let mut failed = false;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut unreadable = false;
     for file in &files {
         let base_text = match std::fs::read_to_string(Path::new(baseline_dir).join(file)) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{file}: cannot read baseline: {e}");
-                failed = true;
+                unreadable = true;
                 continue;
             }
         };
@@ -120,53 +145,94 @@ fn main() -> ExitCode {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("{file}: fresh run missing ({}): {e}", fresh_path.display());
-                failed = true;
+                unreadable = true;
                 continue;
             }
         };
         let fresh = aggregates(&fresh_text);
         for (key, base) in aggregates(&base_text) {
-            let Some((_, new)) = fresh.iter().find(|(k, _)| *k == key) else {
-                eprintln!("{file}: fresh run lost metric {key}");
-                failed = true;
-                continue;
-            };
-            if base <= 0.0 || *new <= 0.0 {
-                eprintln!("{file}: non-positive {key} ({base} -> {new})");
-                failed = true;
-                continue;
-            }
-            let score = if LOWER_IS_BETTER.contains(&key.as_str()) {
-                base / new
-            } else {
-                new / base
-            };
-            println!(
-                "{file:<16} {key:<36} {base:>12.3} -> {new:>12.3}  score {score:>6.3}{}",
-                if LOWER_IS_BETTER.contains(&key.as_str()) {
-                    "  (lower is better)"
-                } else {
-                    ""
+            let new = fresh.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+            let lower = LOWER_IS_BETTER.contains(&key.as_str());
+            let (score, verdict, failing) = match new {
+                None => (None, "LOST", true),
+                Some(new) if base <= 0.0 || new <= 0.0 => (None, "NONPOSITIVE", true),
+                Some(new) => {
+                    let score = if lower { base / new } else { new / base };
+                    if score < metric_floor {
+                        (Some(score), "FLOOR", true)
+                    } else {
+                        (Some(score), "ok", false)
+                    }
                 }
-            );
-            if score < metric_floor {
-                eprintln!(
-                    "{file}: {key} regressed to {score:.3} of baseline (floor {metric_floor:.2})"
-                );
-                failed = true;
-            }
-            log_sum += score.ln();
-            nmetrics += 1;
+            };
+            rows.push(Row {
+                file: file.clone(),
+                key,
+                base: Some(base),
+                new,
+                score,
+                verdict,
+                failing,
+            });
         }
     }
-    if nmetrics == 0 {
+
+    // The complete table, pass or fail: every metric, both values,
+    // the direction-aware score, and a per-row verdict.
+    println!(
+        "{:<16} {:<38} {:>14} {:>14} {:>8}  {:<6} verdict",
+        "file", "metric", "old", "new", "score", "dir"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:<38} {:>14} {:>14} {:>8}  {:<6} {}",
+            r.file,
+            r.key,
+            fmt_opt(r.base),
+            fmt_opt(r.new),
+            fmt_opt(r.score),
+            if LOWER_IS_BETTER.contains(&r.key.as_str()) {
+                "lower"
+            } else {
+                "higher"
+            },
+            r.verdict
+        );
+    }
+
+    let scored: Vec<f64> = rows.iter().filter_map(|r| r.score).collect();
+    if scored.is_empty() {
         eprintln!("no comparable metrics found");
         return ExitCode::FAILURE;
     }
-    let geo_mean = (log_sum / nmetrics as f64).exp();
-    println!("geometric mean over {nmetrics} metrics: {geo_mean:.3} (threshold {threshold:.2})");
-    if failed {
-        eprintln!("FAIL: missing data or a metric below the floor");
+    let geo_mean = (scored.iter().map(|s| s.ln()).sum::<f64>() / scored.len() as f64).exp();
+    println!(
+        "geometric mean over {} metrics: {geo_mean:.3} (threshold {threshold:.2}, floor {metric_floor:.2})",
+        scored.len()
+    );
+
+    let failing: Vec<&Row> = rows.iter().filter(|r| r.failing).collect();
+    if unreadable || !failing.is_empty() {
+        for r in &failing {
+            eprintln!(
+                "FAIL {}: {} {} ({} -> {}, score {})",
+                r.file,
+                r.key,
+                r.verdict,
+                fmt_opt(r.base),
+                fmt_opt(r.new),
+                fmt_opt(r.score)
+            );
+        }
+        eprintln!(
+            "FAIL: {} failing metric(s){}",
+            failing.len(),
+            if unreadable {
+                " plus unreadable/missing bench file(s)"
+            } else {
+                ""
+            }
+        );
         return ExitCode::FAILURE;
     }
     if geo_mean < threshold {

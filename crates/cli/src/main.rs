@@ -9,6 +9,7 @@
 //! osnoise overhead [--secs N]                            §III-A instrumentation overhead
 //! osnoise record <app> <out.osn> [--secs N]              trace to a chunked store file (streaming)
 //! osnoise analyze <in.osn> [--json FILE]                 out-of-core report from a store file
+//! osnoise compare <a.osn> <b.osn>                        side-by-side signature table (modeled vs native)
 //! osnoise info <path>... [--json FILE]                   store layout/contents (files or dirs)
 //! osnoise serve <dir> [--addr A] [--threads N]           catalog + HTTP query service
 //! osnoise cluster <app> [--nodes N] [--secs N]           tiered multi-node BSP campaign
@@ -87,7 +88,9 @@ fn main() -> ExitCode {
         Some("scale") => cmd_scale(&args),
         Some("signature") => cmd_signature(&args),
         Some("record") => cmd_record(&args),
+        Some("capture") => cmd_capture(&args),
         Some("analyze") => cmd_analyze(&args),
+        Some("compare") => cmd_compare(&args),
         Some("info") => cmd_info(&args),
         Some("serve") => cmd_serve(&args),
         Some("cluster") => cmd_cluster(&args),
@@ -104,7 +107,9 @@ USAGE:
   osnoise campaign [--secs N] [--seed S] [--json FILE] [--store DIR]
   osnoise app <amg|irs|lammps|sphot|umt> [--secs N] [--seed S]
   osnoise record <app> <out.osn> [--secs N] [--seed S] [--chunk EVENTS] [--codec raw|delta]
+  osnoise capture [--duration D] [--quantum Q] [--out FILE.osn] [--json FILE]
   osnoise analyze <in.osn> [--json FILE]
+  osnoise compare <a.osn> <b.osn>
   osnoise info <path>... [--json FILE]
   osnoise serve <dir> [--addr HOST:PORT] [--threads N] [--rescan-ms MS] [--cache N]
   osnoise ftq [--samples N] [--seed S]
@@ -117,6 +122,15 @@ USAGE:
                   [--cpus C] [--workers W] [--max-phases P] [--stagger on|off]
                   [--tier mechanistic|auto|sampled:<frac>] [--progress N]
                   [--json FILE] [--store DIR] [--inject SPEC]
+
+CAPTURE:
+  `osnoise capture` runs the native FTQ loop on THIS host (not the
+  simulator): per-quantum gaps above the calibrated threshold are
+  classified from /proc counter deltas (tick / interrupt / preemption /
+  unattributed) and written as a normal .osn store with
+  source=\"native\", so analyze/info/serve consume it unchanged.
+  Durations take ns/us/ms/s suffixes (--duration 2s --quantum 1ms).
+  Without /proc/schedstat the capture still runs, marked degraded.
 
 SERVE:
   `osnoise serve DIR` indexes every .osn store under DIR (recursively,
@@ -490,6 +504,103 @@ fn cmd_record(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_capture(args: &Args) -> ExitCode {
+    let duration = match args.flags.get("duration") {
+        Some(d) => match osn_core::parse_duration(d) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("capture: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Nanos::from_secs(2),
+    };
+    let quantum = match args.flags.get("quantum") {
+        Some(q) => match osn_core::parse_duration(q) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("capture: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Nanos::from_millis(1),
+    };
+    let out = args
+        .flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("capture.osn");
+    let cfg = osn_core::ftq::CaptureConfig {
+        duration,
+        quantum,
+        ..osn_core::ftq::CaptureConfig::default()
+    };
+    let path = std::path::Path::new(out);
+    let (capture, meta, summary) = match osn_core::capture_to_store(cfg, path, store_options(args))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("capture failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = &capture.report;
+    println!(
+        "captured {} — {} quanta of {} in {} ({} events, {} chunks, {} bytes)",
+        path.display(),
+        r.quanta,
+        r.quantum,
+        r.duration,
+        summary.events,
+        summary.chunks,
+        summary.bytes,
+    );
+    println!(
+        "  threshold {} (iteration cost {}, {} recalibrations)",
+        r.threshold, r.iter_cost, r.recalibrations
+    );
+    println!(
+        "  gaps {} — tick {}, interrupt {}, preemption {}, unattributed {} ({:.1}% classified)",
+        r.gaps,
+        r.ticks,
+        r.interrupts,
+        r.preemptions,
+        r.unattributed,
+        r.classified_fraction * 100.0
+    );
+    println!(
+        "  noise {} total; recorder self-overhead {} ({}/quantum)",
+        r.noise_total, r.probe_overhead, r.probe_overhead_per_quantum
+    );
+    if !r.schedstat_available {
+        println!("  note: /proc/schedstat unavailable — degraded attribution");
+    }
+    if r.sample_errors > 0 {
+        println!(
+            "  note: {} procfs sample(s) failed mid-run",
+            r.sample_errors
+        );
+    }
+    if !meta.is_native() {
+        eprintln!("warning: captured store is missing its native source marker");
+    }
+    if let Some(json) = args.flags.get("json") {
+        match serde_json::to_vec_pretty(r) {
+            Ok(bytes) => {
+                if let Err(e) = std::fs::write(json, bytes) {
+                    eprintln!("cannot write {json}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_analyze(args: &Args) -> ExitCode {
     let Some(path) = args.positional.get(1) else {
         eprintln!("{HELP}");
@@ -552,6 +663,42 @@ fn cmd_analyze(args: &Args) -> ExitCode {
             s.min.to_string()
         );
     }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &Args) -> ExitCode {
+    use osn_core::analysis::{comparison_table, NoiseSignature};
+    let (Some(path_a), Some(path_b)) = (args.positional.get(1), args.positional.get(2)) else {
+        eprintln!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let load = |p: &str| -> Option<(String, NoiseSignature)> {
+        let run = match osn_core::load_run(std::path::Path::new(p)) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("cannot load {p}: {e}");
+                return None;
+            }
+        };
+        let label = if run.app == App::Native {
+            "native".to_string()
+        } else {
+            format!("model:{}", run.app.name())
+        };
+        Some((label, NoiseSignature::build(&run.analysis, &run.ranks)))
+    };
+    let (Some((label_a, sig_a)), Some((label_b, sig_b))) = (load(path_a), load(path_b)) else {
+        return ExitCode::FAILURE;
+    };
+    // Same-app comparisons (e.g. two native captures) still need
+    // distinguishable column headers.
+    let (label_a, label_b) = if label_a == label_b {
+        (format!("{label_a}/a"), format!("{label_b}/b"))
+    } else {
+        (label_a, label_b)
+    };
+    println!("{} = {}   {} = {}\n", label_a, path_a, label_b, path_b);
+    print!("{}", comparison_table(&label_a, &sig_a, &label_b, &sig_b));
     ExitCode::SUCCESS
 }
 
@@ -672,11 +819,12 @@ fn info_detail(
     }
     match osn_core::StoredRunMeta::from_bytes(reader.metadata()) {
         Ok(meta) => println!(
-            "  run:             {} x{} ranks, seed {:#x}, {}",
+            "  run:             {} x{} ranks, seed {:#x}, {}{}",
             meta.config.app.name(),
             meta.ranks.len(),
             meta.config.node.seed,
-            meta.config.duration
+            meta.config.duration,
+            if meta.is_native() { " [native]" } else { "" }
         ),
         Err(_) if reader.metadata().is_empty() => println!("  run:             (no metadata)"),
         Err(e) => println!("  run:             (unreadable metadata: {e})"),

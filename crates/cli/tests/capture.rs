@@ -1,0 +1,133 @@
+//! Native-capture consumer round-trip: a store produced by
+//! `osnoise capture` must flow through `analyze`, `info`, and a live
+//! `osnoise serve` daemon *unchanged*, with `/runs/{id}/report`
+//! answering byte-for-byte what `analyze --json` wrote.
+//!
+//! Runs on any host: capture degrades (not fails) without
+//! `/proc/schedstat`, and no assertion here depends on gap
+//! classification — only on the store being a first-class citizen of
+//! every consumer path.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+use osn_catalog::service::RunsResponse;
+use osn_catalog::Client;
+
+fn osnoise(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_osnoise"))
+        .args(args)
+        .output()
+        .expect("spawn osnoise")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("osn-cli-capture-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Kills the daemon even when an assertion fails mid-test.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn captured_store_round_trips_through_analyze_info_serve() {
+    let dir = tmpdir("e2e");
+    let stores = dir.join("stores");
+    std::fs::create_dir_all(&stores).unwrap();
+    let store = stores.join("native.osn");
+
+    let out = osnoise(&[
+        "capture",
+        "--duration",
+        "200ms",
+        "--quantum",
+        "1ms",
+        "--out",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "capture failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("captured"), "no capture summary: {stdout}");
+
+    // `info` identifies the run as a native capture.
+    let out = osnoise(&["info", store.to_str().unwrap()]);
+    assert!(out.status.success(), "info failed");
+    let info = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        info.contains("[native]"),
+        "info lost the source tag: {info}"
+    );
+
+    // `analyze --json` twice: byte-deterministic on the same store.
+    let a = dir.join("a.json");
+    let b = dir.join("b.json");
+    for path in [&a, &b] {
+        let out = osnoise(&[
+            "analyze",
+            store.to_str().unwrap(),
+            "--json",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "analyze failed");
+    }
+    let expected_report = std::fs::read(&a).unwrap();
+    assert!(!expected_report.is_empty());
+    assert_eq!(
+        expected_report,
+        std::fs::read(&b).unwrap(),
+        "analyze --json not byte-deterministic on a captured store"
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_osnoise"))
+        .args([
+            "serve",
+            stores.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--rescan-ms",
+            "0",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let daemon = Daemon(child);
+
+    let mut addr: Option<SocketAddr> = None;
+    for line in BufReader::new(stdout).lines() {
+        let line = line.expect("daemon stdout");
+        if let Some(rest) = line.strip_prefix("serving on http://") {
+            addr = rest.trim().parse().ok();
+            break;
+        }
+    }
+    let addr = addr.expect("daemon printed its address");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client.get("/runs").unwrap();
+    assert_eq!(status, 200);
+    let runs: RunsResponse = serde_json::from_slice(&body).unwrap();
+    assert_eq!(runs.count, 1, "captured store not indexed");
+    assert_eq!(runs.runs[0].app, "native");
+    let id = runs.runs[0].id.clone();
+
+    let (status, body) = client.get(&format!("/runs/{id}/report")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body, expected_report,
+        "/runs/{{id}}/report differs from `osnoise analyze --json` on a captured store"
+    );
+
+    drop(daemon);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,186 @@
+//! Native capture → `.osn` glue: run the `osn-ftq` host recorder and
+//! persist its synthesized event stream as a self-describing store the
+//! unchanged `analyze`/`info`/`serve` pipeline consumes.
+//!
+//! The store is shaped exactly like a simulated single-CPU run:
+//! per-CPU chunks through [`SpillWriter`], a [`StoredRunMeta`] footer
+//! whose task table carries the FTQ thread (kind `app`) and the
+//! preemptor stand-in (kind `host`), and `source: "native"` so
+//! consumers can tell a real-host capture from simulator output.
+
+use std::io;
+use std::path::Path;
+
+use osn_ftq::capture::{
+    run_capture, Capture, CaptureConfig, CaptureReport, CAPTURE_APP_TID, CAPTURE_CPU,
+    CAPTURE_PREEMPTOR_TID,
+};
+use osn_kernel::config::NodeConfig;
+use osn_kernel::node::{NodeStats, RunResult};
+use osn_kernel::task::TaskMeta;
+use osn_kernel::time::Nanos;
+use osn_store::{SpillWriter, StoreOptions, StoreSummary, StoreWriter};
+use osn_trace::CaptureSession;
+use osn_workloads::App;
+
+use crate::experiment::ExperimentConfig;
+use crate::store::{StoredRunMeta, SOURCE_NATIVE};
+
+/// The metadata a finished capture persists: a one-CPU "experiment"
+/// whose app is [`App::Native`].
+pub fn capture_meta(report: &CaptureReport, events: u64) -> StoredRunMeta {
+    let node = NodeConfig {
+        cpus: 1,
+        cpus_per_package: 1,
+        ..NodeConfig::default()
+    }
+    .with_horizon(report.duration);
+    let config = ExperimentConfig {
+        app: App::Native,
+        nranks: 1,
+        duration: report.duration,
+        node,
+        ring_capacity: 1 << 16,
+    };
+    let busy = report
+        .duration
+        .as_nanos()
+        .saturating_sub(report.noise_total.as_nanos() + report.probe_overhead.as_nanos());
+    let tasks = vec![
+        TaskMeta {
+            tid: CAPTURE_APP_TID,
+            name: "ftq.0".into(),
+            kind: "app".into(),
+            job: None,
+            rank: 0,
+            user_time: Nanos(busy),
+            faults: 0,
+        },
+        TaskMeta {
+            tid: CAPTURE_PREEMPTOR_TID,
+            name: "host".into(),
+            kind: "host".into(),
+            job: None,
+            rank: 0,
+            user_time: Nanos::ZERO,
+            faults: 0,
+        },
+    ];
+    let stats = NodeStats {
+        ticks: report.ticks,
+        net_irqs: report.interrupts,
+        switches: 1 + 2 * report.preemptions,
+        events_processed: events,
+        ..NodeStats::default()
+    };
+    StoredRunMeta {
+        config,
+        result: RunResult {
+            end_time: report.duration,
+            tasks,
+            stats,
+        },
+        ranks: vec![CAPTURE_APP_TID],
+        source: Some(SOURCE_NATIVE.into()),
+    }
+}
+
+/// Run a native capture and write it to `path` as a `.osn` store.
+/// Returns the capture (report + raw series) alongside the persisted
+/// metadata and the writer's summary.
+pub fn capture_to_store(
+    cfg: CaptureConfig,
+    path: &Path,
+    opts: StoreOptions,
+) -> io::Result<(Capture, StoredRunMeta, StoreSummary)> {
+    let capture = run_capture(cfg);
+    write_capture(&capture, path, opts).map(|(meta, summary)| (capture, meta, summary))
+}
+
+/// Persist an already-run capture (separated from [`capture_to_store`]
+/// so benches can time the write path without re-spinning the loop).
+pub fn write_capture(
+    capture: &Capture,
+    path: &Path,
+    opts: StoreOptions,
+) -> io::Result<(StoredRunMeta, StoreSummary)> {
+    let writer = StoreWriter::create(path, 1, opts)?;
+    let spill = SpillWriter::new(writer);
+    let mut session = CaptureSession::new(Box::new(spill.clone()), CAPTURE_CPU);
+    for event in &capture.events {
+        session.push(*event);
+    }
+    let written = session.finish()?;
+    let meta = capture_meta(&capture.report, written.appended);
+    let summary = spill.finish(&[written.dropped], meta.to_bytes())?;
+    Ok((meta, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{load_run, streamed_report};
+    use osn_kernel::time::Nanos;
+
+    fn short_capture() -> Capture {
+        run_capture(CaptureConfig {
+            duration: Nanos::from_millis(40),
+            quantum: Nanos::from_millis(1),
+            ..CaptureConfig::default()
+        })
+    }
+
+    #[test]
+    fn captured_store_round_trips_through_both_consumer_paths() {
+        let dir = std::env::temp_dir().join(format!("osn-capture-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("native.osn");
+
+        let capture = short_capture();
+        let (meta, summary) = write_capture(&capture, &path, StoreOptions::default()).unwrap();
+        assert!(meta.is_native());
+        assert_eq!(meta.config.app.name(), "native");
+        assert_eq!(summary.events, capture.events.len() as u64);
+
+        // The materializing path re-analyzes without native-specific
+        // code: the FTQ thread is just an "app" task.
+        let run = load_run(&path).unwrap();
+        assert_eq!(run.result.tasks.len(), 2);
+        assert_eq!(run.trace.len(), capture.events.len());
+
+        // The out-of-core path agrees and reports the same app.
+        let (report, smeta) = streamed_report(&path).unwrap();
+        assert!(smeta.is_native());
+        assert_eq!(report.app.name(), "native");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capture_meta_marks_source_and_counts() {
+        let capture = short_capture();
+        let meta = capture_meta(&capture.report, capture.events.len() as u64);
+        assert_eq!(meta.source.as_deref(), Some("native"));
+        assert_eq!(meta.ranks, vec![CAPTURE_APP_TID]);
+        assert_eq!(meta.config.node.cpus, 1);
+        assert_eq!(meta.result.stats.ticks, capture.report.ticks);
+        // Round-trips through the JSON footer encoding.
+        let back = StoredRunMeta::from_bytes(&meta.to_bytes()).unwrap();
+        assert!(back.is_native());
+    }
+
+    #[test]
+    fn simulated_metadata_without_source_reads_as_non_native() {
+        // Pre-existing stores carry no `source` key at all: strip it
+        // from the JSON to emulate one.
+        let capture = short_capture();
+        let mut meta = capture_meta(&capture.report, 0);
+        meta.source = None;
+        let json = String::from_utf8(meta.to_bytes()).unwrap();
+        let stripped = json.replace(",\"source\":null", "");
+        assert_ne!(json, stripped, "source key should have been present");
+        let back = StoredRunMeta::from_bytes(stripped.as_bytes()).unwrap();
+        assert!(!back.is_native());
+        assert_eq!(back.ranks, meta.ranks);
+    }
+}

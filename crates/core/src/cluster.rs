@@ -235,7 +235,7 @@ pub fn parse_tier(s: &str) -> Result<Tier, String> {
 
 /// Parse a duration with an `ns`/`us`/`ms`/`s` suffix (e.g. `200us`,
 /// `1.5ms`, `50000ns`).
-fn parse_duration(s: &str) -> Result<Nanos, String> {
+pub fn parse_duration(s: &str) -> Result<Nanos, String> {
     let s = s.trim();
     let (num, mult) = if let Some(v) = s.strip_suffix("ns") {
         (v, 1.0)

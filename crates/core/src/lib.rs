@@ -13,6 +13,7 @@
 //! ```
 
 pub mod campaign;
+pub mod capture;
 pub mod cluster;
 pub mod experiment;
 pub mod figures;
@@ -21,10 +22,12 @@ pub mod scale;
 pub mod store;
 
 pub use campaign::{campaign_report, run_campaign, CampaignConfig};
+pub use capture::{capture_meta, capture_to_store, write_capture};
 pub use cluster::{
-    parse_inject_spec, parse_tier, run_cluster, run_cluster_opts, run_cluster_stored,
-    run_cluster_stored_opts, ClusterConfig, ClusterInjections, ClusterOutcome, ClusterReport,
-    ClusterScalePoint, Injection, RankSummary, RunOpts, SamplePlan, Tier, TierMeta, TierValidation,
+    parse_duration, parse_inject_spec, parse_tier, run_cluster, run_cluster_opts,
+    run_cluster_stored, run_cluster_stored_opts, ClusterConfig, ClusterInjections, ClusterOutcome,
+    ClusterReport, ClusterScalePoint, Injection, RankSummary, RunOpts, SamplePlan, Tier, TierMeta,
+    TierValidation,
 };
 pub use experiment::{run_app, AppRun, ExperimentConfig};
 pub use figures::{

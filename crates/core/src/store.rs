@@ -53,7 +53,14 @@ pub struct StoredRunMeta {
     /// Tids of the application's ranks (the job table is not
     /// persisted, so rank membership is).
     pub ranks: Vec<Tid>,
+    /// Where the events came from: `"native"` for host captures,
+    /// absent/`None` for simulator output (pre-existing stores carry
+    /// no key and deserialize to `None`).
+    pub source: Option<String>,
 }
+
+/// `StoredRunMeta.source` value written by `osnoise capture`.
+pub const SOURCE_NATIVE: &str = "native";
 
 impl StoredRunMeta {
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -64,6 +71,12 @@ impl StoredRunMeta {
         serde_json::from_slice(bytes)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("run metadata: {e}")))
     }
+
+    /// Whether this store was captured on a real host rather than
+    /// produced by the simulator.
+    pub fn is_native(&self) -> bool {
+        self.source.as_deref() == Some(SOURCE_NATIVE)
+    }
 }
 
 /// Persist a completed in-memory run as a store file (trace, loss
@@ -73,6 +86,7 @@ pub fn persist_run(run: &AppRun, path: &Path, opts: StoreOptions) -> io::Result<
         config: run.config.clone(),
         result: run.result.clone(),
         ranks: run.ranks.clone(),
+        source: None,
     };
     osn_store::writer::write_store(path, &run.trace, &meta.to_bytes(), opts)
 }
@@ -111,6 +125,7 @@ pub fn record_app(
         config,
         result,
         ranks,
+        source: None,
     };
     let summary = spill.finish(&lost, meta.to_bytes())?;
     Ok((meta, summary))

@@ -46,17 +46,44 @@ pub fn calibrate_op_cost() -> Nanos {
     Nanos(samples[samples.len() / 2])
 }
 
-/// Run native FTQ: `samples` quanta of length `quantum`.
-///
-/// Returns the measured series; `op_cost` in the result is the
-/// calibrated per-op cost used to convert missing work to time.
+/// How many quanta [`run_native`] runs between op-cost recalibrations.
+pub const RECALIBRATE_EVERY: usize = 256;
+
+/// Run native FTQ: `samples` quanta of length `quantum`, recalibrating
+/// every [`RECALIBRATE_EVERY`] quanta.
 pub fn run_native(quantum: Nanos, samples: usize) -> FtqSeries {
-    let op_cost = calibrate_op_cost();
+    run_native_with(quantum, samples, RECALIBRATE_EVERY)
+}
+
+/// [`run_native`] with an explicit recalibration period.
+///
+/// The op cost is not a run constant: DVFS / thermal throttling moves
+/// it mid-run, and with a single startup calibration that frequency
+/// drift masquerades as noise. So the cost is re-measured every
+/// `recalibrate_every` quanta, and any quantum the calibration window
+/// overlaps is *discarded* (calibration time would read as a giant
+/// noise spike). The result's `op_cost` is the median over all
+/// calibration rounds; `ops.len()` may therefore be less than
+/// `samples`.
+pub fn run_native_with(quantum: Nanos, samples: usize, recalibrate_every: usize) -> FtqSeries {
+    let recal_every = recalibrate_every.max(1);
+    let mut costs = vec![calibrate_op_cost()];
     let start = Instant::now();
     let q = quantum.as_nanos() as u128;
     let mut ops = Vec::with_capacity(samples);
     let mut acc = 0u64;
-    for i in 0..samples {
+    let mut i = 0usize;
+    let mut last_recal = 0usize;
+    while i < samples {
+        if i > 0 && i - last_recal >= recal_every {
+            costs.push(calibrate_op_cost());
+            last_recal = i;
+            // Discard every quantum the calibration straddled: resume
+            // at the next quantum boundary after "now".
+            let next = (start.elapsed().as_nanos() / q) as usize + 1;
+            i = next.max(i + 1);
+            continue;
+        }
         let deadline = (i as u128 + 1) * q;
         let mut n = 0u64;
         while start.elapsed().as_nanos() < deadline {
@@ -64,8 +91,11 @@ pub fn run_native(quantum: Nanos, samples: usize) -> FtqSeries {
             n += 1;
         }
         ops.push(n);
+        i += 1;
     }
     black_box(acc);
+    costs.sort_unstable();
+    let op_cost = costs[costs.len() / 2];
     FtqSeries {
         origin: Nanos::ZERO,
         quantum,
@@ -90,6 +120,27 @@ mod tests {
         // A 32-step dependent chain: somewhere between 1 ns and 10 µs
         // on anything that can run this test suite.
         assert!(cost >= Nanos(1) && cost <= Nanos(10_000), "cost {cost}");
+    }
+
+    #[test]
+    fn recalibration_discards_straddled_quanta() {
+        // 30 quanta of 200 µs with recalibration every 10: the two
+        // calibration windows (~ms each) straddle at least one quantum
+        // apiece, so strictly fewer than 30 samples survive — the
+        // discarded ones must not appear as zero-op "noise" quanta.
+        let series = run_native_with(Nanos::from_micros(200), 30, 10);
+        assert!(series.ops.len() < 30, "straddled quanta were kept");
+        assert!(!series.ops.is_empty());
+        // A calibration window (~ms) leaking into a recorded 200 µs
+        // quantum would zero it; genuine whole-quantum theft is rare
+        // enough that most quanta must show work.
+        let busy = series.ops.iter().filter(|&&n| n > 0).count();
+        assert!(
+            busy * 2 > series.ops.len(),
+            "{busy}/{} busy",
+            series.ops.len()
+        );
+        assert!(series.op_cost >= Nanos(1));
     }
 
     #[test]

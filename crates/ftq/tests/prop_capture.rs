@@ -1,0 +1,75 @@
+//! Property tests for the capture classifier: classification is a pure
+//! function of the counter deltas — identical deltas always yield the
+//! same class, and every delta combination lands in exactly one class
+//! consistent with the decision table's priority order.
+
+use proptest::prelude::*;
+
+use osn_ftq::capture::{classify, CounterDeltas, GapClass};
+
+fn deltas(
+    timer: u64,
+    other: u64,
+    vol: u64,
+    nonvol: u64,
+    migrated: bool,
+    run_delay: u64,
+) -> CounterDeltas {
+    CounterDeltas {
+        timer_irqs: timer,
+        other_irqs: other,
+        voluntary: vol,
+        nonvoluntary: nonvol,
+        migrated,
+        run_delay_ns: run_delay,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Identical counter deltas classify identically: rebuilding the
+    /// same deltas from scratch (not cloning) gives the same class on
+    /// every evaluation.
+    #[test]
+    fn classification_is_deterministic(
+        timer in 0u64..16,
+        other in 0u64..16,
+        vol in 0u64..8,
+        nonvol in 0u64..8,
+        migrated in any::<bool>(),
+        run_delay in 0u64..1_000_000,
+    ) {
+        let a = deltas(timer, other, vol, nonvol, migrated, run_delay);
+        let b = deltas(timer, other, vol, nonvol, migrated, run_delay);
+        let first = classify(&a);
+        prop_assert_eq!(first, classify(&b));
+        prop_assert_eq!(first, classify(&a), "re-evaluation drifted");
+    }
+
+    /// The class respects the decision table: preemption evidence wins
+    /// over everything, ticks over device interrupts, and only
+    /// counter-silent gaps are unattributed. Voluntary switches and
+    /// run-delay growth alone never classify (they are corroboration).
+    #[test]
+    fn classification_matches_decision_table(
+        timer in 0u64..16,
+        other in 0u64..16,
+        vol in 0u64..8,
+        nonvol in 0u64..8,
+        migrated in any::<bool>(),
+        run_delay in 0u64..1_000_000,
+    ) {
+        let class = classify(&deltas(timer, other, vol, nonvol, migrated, run_delay));
+        let expect = if nonvol > 0 || migrated {
+            GapClass::Preemption
+        } else if timer > 0 {
+            GapClass::Tick
+        } else if other > 0 {
+            GapClass::Interrupt
+        } else {
+            GapClass::Unattributed
+        };
+        prop_assert_eq!(class, expect);
+    }
+}

@@ -1,0 +1,183 @@
+//! The capture-session sink: the single-producer path from a native
+//! host recorder into any [`EventSink`].
+//!
+//! The simulated tracer fills per-CPU rings drained by a background
+//! thread ([`crate::session::TraceSession`]); a native capture has one
+//! recording thread whose events must reach the store without a ring,
+//! a consumer thread, or allocation in the hot loop. `CaptureSession`
+//! batches pushed events and forwards full batches to the sink; an
+//! append error is latched (events after it are counted as dropped,
+//! not silently lost) and surfaced at [`CaptureSession::finish`].
+
+use std::io;
+
+use osn_kernel::ids::CpuId;
+
+use crate::event::Event;
+use crate::session::EventSink;
+
+/// Default events per flushed batch.
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Counters describing what a finished capture session wrote.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaptureSessionSummary {
+    /// Events handed to the sink successfully.
+    pub appended: u64,
+    /// Events discarded after the sink started failing.
+    pub dropped: u64,
+}
+
+/// Batches one thread's capture events into an [`EventSink`].
+pub struct CaptureSession {
+    sink: Box<dyn EventSink>,
+    cpu: CpuId,
+    buf: Vec<Event>,
+    batch: usize,
+    appended: u64,
+    dropped: u64,
+    error: Option<io::Error>,
+}
+
+impl CaptureSession {
+    pub fn new(sink: Box<dyn EventSink>, cpu: CpuId) -> CaptureSession {
+        CaptureSession::with_batch(sink, cpu, DEFAULT_BATCH)
+    }
+
+    pub fn with_batch(sink: Box<dyn EventSink>, cpu: CpuId, batch: usize) -> CaptureSession {
+        let batch = batch.max(1);
+        CaptureSession {
+            sink,
+            cpu,
+            buf: Vec::with_capacity(batch),
+            batch,
+            appended: 0,
+            dropped: 0,
+            error: None,
+        }
+    }
+
+    /// Buffer one event; flushes automatically when the batch fills.
+    /// Never fails the caller mid-capture: sink errors are latched and
+    /// reported by [`CaptureSession::finish`].
+    pub fn push(&mut self, event: Event) {
+        if self.error.is_some() {
+            self.dropped += 1;
+            return;
+        }
+        self.buf.push(event);
+        if self.buf.len() >= self.batch {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        match self.sink.append(self.cpu, &self.buf) {
+            Ok(()) => self.appended += self.buf.len() as u64,
+            Err(e) => {
+                self.dropped += self.buf.len() as u64;
+                self.error = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+
+    /// Flush the tail and return the session counters; the first sink
+    /// error (if any) comes back as `Err` with the counters intact via
+    /// [`io::Error`]'s message.
+    pub fn finish(mut self) -> io::Result<CaptureSessionSummary> {
+        self.flush();
+        let summary = CaptureSessionSummary {
+            appended: self.appended,
+            dropped: self.dropped,
+        };
+        match self.error {
+            Some(e) => Err(io::Error::new(
+                e.kind(),
+                format!("capture sink failed after {} events: {e}", summary.appended),
+            )),
+            None => Ok(summary),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_kernel::ids::Tid;
+    use osn_kernel::time::Nanos;
+    use std::sync::{Arc, Mutex};
+
+    use crate::event::EventKind;
+
+    #[derive(Clone, Default)]
+    struct MemSink {
+        batches: Arc<Mutex<Vec<(CpuId, usize)>>>,
+        fail_after: Option<usize>,
+    }
+
+    impl EventSink for MemSink {
+        fn append(&mut self, cpu: CpuId, events: &[Event]) -> io::Result<()> {
+            let mut batches = self.batches.lock().unwrap();
+            if let Some(limit) = self.fail_after {
+                if batches.len() >= limit {
+                    return Err(io::Error::other("sink full"));
+                }
+            }
+            batches.push((cpu, events.len()));
+            Ok(())
+        }
+    }
+
+    fn mark(t: u64) -> Event {
+        Event {
+            t: Nanos(t),
+            cpu: CpuId(0),
+            tid: Tid(1),
+            kind: EventKind::AppMark { mark: 1, value: t },
+        }
+    }
+
+    #[test]
+    fn batches_and_flushes_tail() {
+        let sink = MemSink::default();
+        let batches = sink.batches.clone();
+        let mut session = CaptureSession::with_batch(Box::new(sink), CpuId(0), 4);
+        for t in 0..10 {
+            session.push(mark(t));
+        }
+        let summary = session.finish().unwrap();
+        assert_eq!(summary.appended, 10);
+        assert_eq!(summary.dropped, 0);
+        // Two full batches of 4 plus the tail of 2.
+        assert_eq!(
+            &*batches.lock().unwrap(),
+            &[(CpuId(0), 4), (CpuId(0), 4), (CpuId(0), 2)]
+        );
+    }
+
+    #[test]
+    fn sink_error_is_latched_and_counted() {
+        let sink = MemSink {
+            fail_after: Some(1),
+            ..MemSink::default()
+        };
+        let batches = sink.batches.clone();
+        let mut session = CaptureSession::with_batch(Box::new(sink), CpuId(0), 2);
+        for t in 0..7 {
+            session.push(mark(t));
+        }
+        let err = session.finish().unwrap_err();
+        assert!(err.to_string().contains("after 2 events"), "{err}");
+        assert_eq!(batches.lock().unwrap().len(), 1, "no appends after failure");
+    }
+
+    #[test]
+    fn empty_session_finishes_clean() {
+        let session = CaptureSession::new(Box::new(MemSink::default()), CpuId(3));
+        assert_eq!(session.finish().unwrap(), CaptureSessionSummary::default());
+    }
+}

@@ -20,6 +20,7 @@
 //! assert_eq!(trace.total_lost(), 0);
 //! ```
 
+pub mod capture;
 pub mod columns;
 pub mod event;
 pub mod flight;
@@ -29,6 +30,7 @@ pub mod ringbuf;
 pub mod session;
 pub mod wire;
 
+pub use capture::{CaptureSession, CaptureSessionSummary};
 pub use columns::EventColumns;
 pub use event::{Event, EventKind, Trace};
 pub use flight::FlightRecorder;

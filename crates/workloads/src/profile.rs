@@ -22,7 +22,9 @@ use osn_kernel::time::Nanos;
 
 use serde::{Deserialize, Serialize};
 
-/// Which Sequoia benchmark.
+/// Which Sequoia benchmark — or a native host capture, which is not a
+/// simulated workload at all but needs an `App` identity so captured
+/// `.osn` stores flow through the same metadata and report paths.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum App {
     Amg,
@@ -30,6 +32,10 @@ pub enum App {
     Lammps,
     Sphot,
     Umt,
+    /// The `osnoise capture` FTQ recorder running on the real host.
+    /// Deliberately absent from [`App::ALL`]: campaigns and benches
+    /// iterate only the simulated Sequoia apps.
+    Native,
 }
 
 impl App {
@@ -42,6 +48,7 @@ impl App {
             App::Lammps => "lammps",
             App::Sphot => "sphot",
             App::Umt => "umt",
+            App::Native => "native",
         }
     }
 
@@ -296,6 +303,33 @@ impl Profile {
                 // 1) interrupt the computing tasks, and 2) trigger
                 // process migration and domain balancing."
                 helpers: 4,
+            },
+            // Native capture never runs through the simulator; the
+            // profile is a compute-only placeholder so every `App` has
+            // one.
+            App::Native => Profile {
+                app,
+                cache_factor: 1.0,
+                duration,
+                input_read_bytes: 0,
+                init_pages: 0,
+                init_backing: Backing::AnonFresh,
+                iterations,
+                compute_per_iter: iter_len,
+                pages_per_iter: 0,
+                iter_mix: BackingMix {
+                    parts: vec![(1.0, Backing::AnonFresh)],
+                },
+                work_per_page: Nanos(700),
+                barrier_per_iter: false,
+                buffered_write_per_iter: 0,
+                writeback_every: 1,
+                sync_io_every: 0,
+                sync_io_bytes: 0,
+                sync_io_at_start: false,
+                final_pages: 0,
+                final_write_bytes: 0,
+                helpers: 0,
             },
         }
     }

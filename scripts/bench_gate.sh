@@ -39,6 +39,8 @@ echo "== bench-gate: cluster_scale"
 target/release/cluster_scale
 echo "== bench-gate: catalog_throughput"
 target/release/catalog_throughput
+echo "== bench-gate: capture_overhead"
+target/release/capture_overhead
 
 target/release/bench_gate "$baseline" . \
     --threshold "${OSN_GATE_THRESHOLD:-0.85}" \

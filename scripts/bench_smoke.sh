@@ -55,6 +55,10 @@ run_bench cluster_throughput
 # endpoint workload (BENCH_PR9.json); every report response is
 # byte-checked against the offline analysis under load.
 run_bench catalog_throughput
+# Native capture recorder: real host FTQ loop + procfs attribution +
+# store write (BENCH_PR10.json). Short reps — the smoke loop checks
+# the path runs clean on this host, not the published numbers.
+OSN_CAPTURE_SECS=1 run_bench capture_overhead
 # Tiered scaling: validation scales + the 10k-rank point only — the
 # 100k point is for published BENCH_PR8.json runs, not the smoke loop.
 OSN_SCALE_MAX=10000 run_bench cluster_scale
@@ -91,4 +95,4 @@ grep -q "barrier paid by injected fault class" "$inject_dir/out-1.txt" || {
 rm -rf "$inject_dir"
 echo "== bench_smoke: fault injection OK"
 
-echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR8.json, BENCH_PR9.json)"
+echo "bench_smoke: OK (see BENCH_PR1.json, BENCH_PR3.json, BENCH_PR4.json, BENCH_PR5.json, BENCH_PR6.json, BENCH_PR8.json, BENCH_PR9.json, BENCH_PR10.json)"
